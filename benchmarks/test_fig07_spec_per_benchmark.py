@@ -1,0 +1,54 @@
+"""Fig. 7 — per-benchmark SPEC CPU2006 gains at 91 W.
+
+Paper shape: up to ~8 % improvement (4.6 % on average); gains correlate with
+each benchmark's frequency scalability — 416.gamess / 444.namd at the top,
+410.bwaves / 433.milc near zero.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.experiments import run_fig7_spec_per_benchmark
+
+
+def _pearson(xs, ys):
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    return cov / math.sqrt(var_x * var_y)
+
+
+def test_fig07_spec_per_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_fig7_spec_per_benchmark, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    print()
+    print(result.as_text())
+
+    improvements = result.per_benchmark_improvement
+
+    # Average in the band around the paper's 4.6 %; maximum near the paper's 8.1 %.
+    assert 0.025 <= result.average_improvement <= 0.08
+    assert 0.05 <= result.max_improvement <= 0.13
+
+    # No benchmark regresses.
+    assert min(improvements.values()) >= 0.0
+
+    # Highly scalable benchmarks top the chart, memory-bound ones trail it.
+    top = {result.best_benchmark()}
+    assert top & {"416.gamess", "444.namd", "453.povray"}
+    assert result.worst_benchmark() in {"410.bwaves", "433.milc", "462.libquantum", "429.mcf"}
+    assert improvements["416.gamess"] > 4 * improvements["410.bwaves"]
+
+    # Gains correlate strongly with frequency scalability (paper observation 2).
+    names = list(improvements)
+    correlation = _pearson(
+        [result.scalability_by_benchmark[n] for n in names],
+        [improvements[n] for n in names],
+    )
+    assert correlation > 0.9

@@ -1,0 +1,41 @@
+"""Fig. 8 — average SPEC CPU2006 gains across TDP levels (35/45/65/91 W).
+
+Paper shape: both base (single-core) and rate (all-core) modes improve by
+roughly 4-5.5 % at every TDP level.  (The paper's base gains fall slightly
+and its rate gains rise slightly with TDP; our analytical model reproduces
+the magnitudes and the everywhere-positive shape, see EXPERIMENTS.md for the
+trend discussion.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig8_spec_tdp_sweep
+
+
+def test_fig08_spec_tdp_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_fig8_spec_tdp_sweep, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    print()
+    print(result.as_text())
+
+    assert result.tdp_levels_w == (35.0, 45.0, 65.0, 91.0)
+
+    # DarkGates helps in both modes at every TDP level.
+    for base, rate in zip(result.base_improvements, result.rate_improvements):
+        assert base > 0.0
+        assert rate > 0.0
+
+    # Magnitudes stay in the few-percent band the paper reports (4.2-5.3 %),
+    # allowing a generous modelling tolerance.
+    for value in result.base_improvements + result.rate_improvements:
+        assert 0.01 <= value <= 0.10
+
+    # The overall average lands near the paper's ~4.7 % across the whole sweep.
+    overall = sum(result.base_improvements + result.rate_improvements) / 8.0
+    assert 0.03 <= overall <= 0.07
+
+    # At 91 W the base-mode average matches the paper's 4.6 % within ~2 points.
+    base_91 = result.base_improvements[-1]
+    assert abs(base_91 - 0.046) <= 0.02

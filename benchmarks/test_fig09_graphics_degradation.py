@@ -1,0 +1,35 @@
+"""Fig. 9 — 3DMark performance impact across TDP levels.
+
+Paper shape: ~2 % degradation at 35 W (thermally limited), essentially zero
+at 45 W and above.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_fig9_graphics_degradation
+
+
+def test_fig09_graphics_degradation(benchmark):
+    result = benchmark.pedantic(
+        run_fig9_graphics_degradation, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    print()
+    print(result.as_text())
+
+    degradation = dict(zip(result.tdp_levels_w, result.average_degradation))
+
+    # Only the thermally-limited 35 W configuration loses graphics performance.
+    assert 0.002 <= degradation[35.0] <= 0.06
+    assert degradation[65.0] == pytest.approx(0.0, abs=1e-9)
+    assert degradation[91.0] == pytest.approx(0.0, abs=1e-9)
+
+    # Degradation is monotonically non-increasing with TDP.
+    series = result.average_degradation
+    assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
+
+    # The 45 W level sits between 35 W and the unaffected high-TDP levels.
+    assert degradation[45.0] <= degradation[35.0]
+    assert degradation[45.0] <= 0.02

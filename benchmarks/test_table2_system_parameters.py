@@ -1,0 +1,56 @@
+"""Table 2 — parameters of the evaluated systems.
+
+Regenerates the SKU parameter table and checks that the instantiated
+processor models agree with it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_table2_system_parameters
+from repro.analysis.reporting import format_table
+from repro.soc.skus import skylake_h_mobile, skylake_s_desktop
+
+
+def test_table2_system_parameters(benchmark):
+    descriptions = benchmark(run_table2_system_parameters)
+
+    rows = [
+        (
+            d.name,
+            d.segment,
+            d.package,
+            d.core_count,
+            f"{d.core_frequency_range_ghz[0]}-{d.core_frequency_range_ghz[1]} GHz",
+            f"{d.graphics_frequency_range_mhz[0]:.0f}-{d.graphics_frequency_range_mhz[1]:.0f} MHz",
+            f"{d.llc_mb:.0f} MB",
+            f"{d.tdp_range_w[0]:.0f}-{d.tdp_range_w[1]:.0f} W",
+            f"{d.process_nm} nm",
+        )
+        for d in descriptions
+    ]
+    print()
+    print(
+        format_table(
+            ["SKU", "segment", "package", "cores", "core freq", "gfx freq", "LLC", "TDP", "process"],
+            rows,
+            title="Table 2: evaluated systems",
+        )
+    )
+
+    desktop, mobile = descriptions
+    assert desktop.name == "i7-6700K" and mobile.name == "i7-6920HQ"
+    assert desktop.core_count == mobile.core_count == 4
+    assert desktop.llc_mb == mobile.llc_mb == 8.0
+    assert desktop.tdp_range_w == (35.0, 91.0)
+    assert desktop.process_nm == 14
+
+    # The instantiated processor models agree with the table.
+    desktop_processor = skylake_s_desktop()
+    mobile_processor = skylake_h_mobile()
+    assert desktop_processor.core_count == desktop.core_count
+    assert desktop_processor.die.uncore.llc_mb == desktop.llc_mb
+    assert desktop_processor.die.graphics.frequency_grid.max_hz == (
+        desktop.graphics_frequency_range_mhz[1] * 1e6
+    )
+    assert desktop_processor.power_gates_bypassed
+    assert not mobile_processor.power_gates_bypassed

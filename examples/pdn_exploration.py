@@ -1,0 +1,97 @@
+"""Power-delivery-network exploration.
+
+Uses the PDN substrate directly (without the firmware layers) to show the
+electrical mechanism behind DarkGates:
+
+1. sweeps the impedance of the gated and bypassed networks (paper Fig. 4),
+2. simulates a di/dt load step on both and reports the worst-case droop, and
+3. converts both into voltage guardbands and the resulting Vmax-limited
+   maximum frequency (Fmax) of the core.
+
+Run with::
+
+    python examples/pdn_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.pdn.ac import ACAnalysis
+from repro.pdn.droop import DroopSimulator
+from repro.pdn.guardband import GuardbandModel
+from repro.pdn.ladder import PdnConfiguration, SkylakePdnBuilder
+from repro.pdn.loadline import default_virus_table
+from repro.soc.die import SiliconVfCharacter
+
+
+def main() -> None:
+    gated = PdnConfiguration()
+    bypassed = gated.with_bypass()
+    virus_table = default_virus_table(4)
+    silicon = SiliconVfCharacter()
+    vmax_v = 1.42
+
+    impedance_rows = []
+    droop_rows = []
+    guardband_rows = []
+    for label, configuration in (("with power-gates", gated), ("bypassed", bypassed)):
+        builder = SkylakePdnBuilder(configuration)
+        profile = ACAnalysis(builder.build_netlist(), builder.observation_node()).sweep(
+            start_hz=1e5, stop_hz=1e8, label=label
+        )
+        impedance_rows.append(
+            (
+                label,
+                f"{profile.impedance_at(2e5) * 1e3:.2f} mOhm",
+                f"{profile.impedance_at(1.4e7) * 1e3:.2f} mOhm",
+                f"{profile.peak_magnitude_ohm() * 1e3:.2f} mOhm @ {profile.peak().frequency_hz / 1e6:.0f} MHz",
+            )
+        )
+
+        droop = DroopSimulator(builder.build_ladder(), nominal_voltage_v=1.1)
+        result = droop.simulate_current_step(step_current_a=25.0, duration_s=3e-6)
+        droop_rows.append(
+            (
+                label,
+                f"{result.settled_drop_v * 1e3:.1f} mV",
+                f"{result.worst_droop_v * 1e3:.1f} mV",
+            )
+        )
+
+        guardband_model = GuardbandModel(configuration)
+        for level in (virus_table.levels[0], virus_table.levels[-1]):
+            breakdown = guardband_model.breakdown(level)
+            headroom = vmax_v - breakdown.total_v
+            fmax_ghz = silicon.max_frequency_for_voltage(headroom) / 1e9
+            guardband_rows.append(
+                (
+                    label,
+                    level.name,
+                    f"{breakdown.ir_drop_v * 1e3:.0f} mV",
+                    f"{breakdown.transient_droop_v * 1e3:.0f} mV",
+                    f"{breakdown.total_v * 1e3:.0f} mV",
+                    f"{fmax_ghz:.2f} GHz",
+                )
+            )
+
+    print(format_table(
+        ["configuration", "Z @ 200 kHz", "Z @ 14 MHz", "peak"],
+        impedance_rows,
+        title="Impedance profile (paper Fig. 4)",
+    ))
+    print()
+    print(format_table(
+        ["configuration", "settled IR drop", "worst-case droop"],
+        droop_rows,
+        title="25 A load-step droop at the die",
+    ))
+    print()
+    print(format_table(
+        ["configuration", "virus level", "IR guardband", "droop guardband", "total", "Vmax-limited Fmax"],
+        guardband_rows,
+        title="Guardband and maximum attainable frequency",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""TDP sweep study: how much DarkGates helps across desktop cTDP levels.
+
+Sweeps the 35 W - 91 W configurable-TDP range of the evaluated desktop and
+reports, per level: the achieved single-core and all-core frequencies of the
+baseline and DarkGates systems, which limit (Vmax or TDP) stopped each, and
+the resulting average SPEC CPU2006 gain in base and rate modes — the data
+behind the paper's Fig. 8.
+
+Run with::
+
+    python examples/tdp_sweep_study.py
+"""
+
+from __future__ import annotations
+
+from repro import SystemComparison
+from repro.analysis.reporting import format_percent, format_table
+from repro.pmu.dvfs import CpuDemand
+from repro.soc.skus import SKYLAKE_TDP_LEVELS_W
+from repro.workloads.spec import spec_cpu2006_base_suite, spec_cpu2006_rate_suite
+
+
+def main() -> None:
+    frequency_rows = []
+    gain_rows = []
+    for tdp in SKYLAKE_TDP_LEVELS_W:
+        comparison = SystemComparison(tdp_w=tdp)
+        baseline = comparison.baseline_engine.pcode
+        darkgates = comparison.darkgates_engine.pcode
+
+        single = CpuDemand(active_cores=1, activity=0.65)
+        all_cores = CpuDemand(active_cores=4, activity=0.65)
+        base_point = baseline.resolve_cpu_operating_point(single)
+        dark_point = darkgates.resolve_cpu_operating_point(single)
+        base_rate_point = baseline.resolve_cpu_operating_point(all_cores)
+        dark_rate_point = darkgates.resolve_cpu_operating_point(all_cores)
+        frequency_rows.append(
+            (
+                f"{tdp:.0f} W",
+                f"{base_point.frequency_ghz:.1f} -> {dark_point.frequency_ghz:.1f} GHz",
+                base_point.limiting_factor.value,
+                f"{base_rate_point.frequency_ghz:.1f} -> {dark_rate_point.frequency_ghz:.1f} GHz",
+                base_rate_point.limiting_factor.value,
+            )
+        )
+
+        gain_rows.append(
+            (
+                f"{tdp:.0f} W",
+                format_percent(
+                    comparison.average_cpu_improvement(spec_cpu2006_base_suite())
+                ),
+                format_percent(
+                    comparison.average_cpu_improvement(spec_cpu2006_rate_suite(4))
+                ),
+            )
+        )
+
+    print(
+        format_table(
+            ["TDP", "1-core freq (base -> DG)", "1-core limit", "4-core freq (base -> DG)", "4-core limit"],
+            frequency_rows,
+            title="Achieved frequencies across the cTDP range",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["TDP", "SPEC base gain", "SPEC rate gain"],
+            gain_rows,
+            title="Average SPEC CPU2006 improvement (paper Fig. 8)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

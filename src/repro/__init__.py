@@ -1,0 +1,53 @@
+"""DarkGates reproduction library.
+
+A Python model of *DarkGates: A Hybrid Power-Gating Architecture to Mitigate
+the Performance Impact of Dark-Silicon in High Performance Processors*
+(HPCA 2022).  The library models the power-delivery network, power and
+thermal behaviour, power-management firmware, and workloads of a
+Skylake-class client SoC, and uses them to reproduce the paper's evaluation:
+SPEC CPU2006 gains, 3DMark impact, and ENERGY STAR / RMT average power.
+
+Quickstart::
+
+    from repro import SystemComparison, spec_cpu2006_base_suite
+
+    comparison = SystemComparison(tdp_w=91.0)
+    gain = comparison.average_cpu_improvement(spec_cpu2006_base_suite())
+    print(f"DarkGates improves SPEC base by {gain * 100:.1f}% at 91 W")
+"""
+
+from repro.core.darkgates import (
+    SystemComparison,
+    baseline_system,
+    darkgates_c7_limited_system,
+    darkgates_system,
+)
+from repro.core.overhead import darkgates_overheads
+from repro.pmu.pcode import Pcode
+from repro.sim.engine import SimulationEngine
+from repro.workloads.energy import energy_star_scenario, rmt_scenario
+from repro.workloads.graphics import three_dmark_suite
+from repro.workloads.spec import (
+    spec_cpu2006_base_suite,
+    spec_cpu2006_rate_suite,
+    spec_cpu2006_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemComparison",
+    "baseline_system",
+    "darkgates_c7_limited_system",
+    "darkgates_system",
+    "darkgates_overheads",
+    "Pcode",
+    "SimulationEngine",
+    "energy_star_scenario",
+    "rmt_scenario",
+    "three_dmark_suite",
+    "spec_cpu2006_base_suite",
+    "spec_cpu2006_rate_suite",
+    "spec_cpu2006_suite",
+    "__version__",
+]

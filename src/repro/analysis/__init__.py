@@ -1,0 +1,42 @@
+"""Experiment definitions and reporting.
+
+One function per table/figure of the paper's evaluation, each returning a
+structured result object that the benchmarks regenerate and assert on, plus
+plain-text table formatting for the examples and the EXPERIMENTS.md log.
+"""
+
+from repro.analysis.experiments import (
+    Fig3Result,
+    Fig4Result,
+    Fig7Result,
+    Fig8Result,
+    Fig9Result,
+    Fig10Result,
+    run_fig3_guardband_motivation,
+    run_fig4_impedance_profiles,
+    run_fig7_spec_per_benchmark,
+    run_fig8_spec_tdp_sweep,
+    run_fig9_graphics_degradation,
+    run_fig10_energy_efficiency,
+    run_table1_package_cstates,
+    run_table2_system_parameters,
+)
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "Fig3Result",
+    "Fig4Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "Fig10Result",
+    "run_fig3_guardband_motivation",
+    "run_fig4_impedance_profiles",
+    "run_fig7_spec_per_benchmark",
+    "run_fig8_spec_tdp_sweep",
+    "run_fig9_graphics_degradation",
+    "run_fig10_energy_efficiency",
+    "run_table1_package_cstates",
+    "run_table2_system_parameters",
+    "format_table",
+]

@@ -1,0 +1,414 @@
+"""Experiment definitions: one function per table/figure of the paper.
+
+Every ``run_*`` function regenerates the data behind one evaluation artefact
+and returns a structured result.  The benchmark harness under
+``benchmarks/`` calls these functions, prints the same rows/series the paper
+reports, and asserts the qualitative claims; the absolute values are
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.core.darkgates import SystemComparison
+from repro.pdn.ac import ACAnalysis, ImpedanceProfile
+from repro.pdn.guardband import GuardbandModel, OffsetGuardbandModel
+from repro.pdn.ladder import PdnConfiguration, SkylakePdnBuilder
+from repro.pmu.cstates import table1_rows
+from repro.pmu.fuses import FuseSet
+from repro.pmu.pcode import Pcode
+from repro.reliability.guardband import ReliabilityGuardbandModel
+from repro.sim.engine import SimulationEngine
+from repro.soc.skus import (
+    BROADWELL_TDP_LEVELS_W,
+    SKYLAKE_TDP_LEVELS_W,
+    SkuDescription,
+    broadwell_desktop,
+    sku_descriptions,
+)
+from repro.workloads.energy import energy_star_scenario, rmt_scenario
+from repro.workloads.graphics import three_dmark_suite
+from repro.workloads.spec import spec_cpu2006_suite
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — motivation: -100 mV guardband on a Broadwell-class system
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """Average performance improvement per group and TDP (paper Fig. 3)."""
+
+    tdp_levels_w: Tuple[float, ...]
+    #: group name ("SPECfp_base", ...) -> list of improvements per TDP level
+    improvements: Dict[str, List[float]]
+
+    def as_text(self) -> str:
+        """Render the figure's data as a text table."""
+        headers = ["group"] + [f"{tdp:.0f}W" for tdp in self.tdp_levels_w]
+        rows = [
+            [group] + [f"{value * 100:.1f}%" for value in values]
+            for group, values in self.improvements.items()
+        ]
+        return format_table(headers, rows, title="Fig. 3: -100 mV guardband on Broadwell")
+
+
+def run_fig3_guardband_motivation(
+    guardband_reduction_v: float = 0.100,
+    tdp_levels_w: Tuple[float, ...] = BROADWELL_TDP_LEVELS_W,
+) -> Fig3Result:
+    """Reproduce Fig. 3: SPEC gains from a flat guardband reduction."""
+    groups = {
+        "SPECfp_base": ("fp", 1),
+        "SPECfp_rate": ("fp", None),
+        "SPECint_base": ("int", 1),
+        "SPECint_rate": ("int", None),
+    }
+    improvements: Dict[str, List[float]] = {name: [] for name in groups}
+    for tdp in tdp_levels_w:
+        processor = broadwell_desktop(tdp)
+        baseline = Pcode(processor, FuseSet.legacy_desktop())
+        reduced_model = OffsetGuardbandModel(
+            GuardbandModel(configuration=processor.package.pdn),
+            offset_v=-guardband_reduction_v,
+        )
+        reduced = Pcode(
+            processor, FuseSet.legacy_desktop(), guardband_model=reduced_model
+        )
+        baseline_engine = SimulationEngine(baseline)
+        reduced_engine = SimulationEngine(reduced)
+        for group, (category, cores) in groups.items():
+            active = cores or processor.core_count
+            suite = spec_cpu2006_suite(active_cores=active, category=category)
+            gains = []
+            for workload in suite:
+                before = baseline_engine.run_cpu_workload(workload)
+                after = reduced_engine.run_cpu_workload(workload)
+                gains.append(after.improvement_over(before))
+            improvements[group].append(sum(gains) / len(gains))
+    return Fig3Result(tdp_levels_w=tuple(tdp_levels_w), improvements=improvements)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — impedance profiles with and without power-gates
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """Impedance profiles of the gated and bypassed PDNs (paper Fig. 4)."""
+
+    gated: ImpedanceProfile
+    bypassed: ImpedanceProfile
+
+    @property
+    def mean_impedance_ratio(self) -> float:
+        """Geometric-mean impedance ratio (gated / bypassed)."""
+        return self.gated.mean_ratio_to(self.bypassed)
+
+    @property
+    def peak_impedance_ratio(self) -> float:
+        """Ratio of the worst-case impedance peaks."""
+        return self.gated.peak_magnitude_ohm() / self.bypassed.peak_magnitude_ohm()
+
+    def as_text(self) -> str:
+        """Render key sweep points as a text table."""
+        frequencies = [2.1e5, 2.0e6, 1.4e7, 6.5e7, 9.0e7]
+        rows = [
+            [
+                f"{f / 1e6:.3g} MHz",
+                f"{self.gated.impedance_at(f) * 1e3:.2f} mOhm",
+                f"{self.bypassed.impedance_at(f) * 1e3:.2f} mOhm",
+                f"{self.gated.impedance_at(f) / self.bypassed.impedance_at(f):.2f}x",
+            ]
+            for f in frequencies
+        ]
+        return format_table(
+            ["frequency", "with power-gates", "bypassed", "ratio"],
+            rows,
+            title="Fig. 4: PDN impedance profile",
+        )
+
+
+def run_fig4_impedance_profiles(points_per_decade: int = 40) -> Fig4Result:
+    """Reproduce Fig. 4: the impedance-frequency profile of both PDNs."""
+    gated_cfg = PdnConfiguration()
+    bypassed_cfg = gated_cfg.with_bypass()
+    profiles = {}
+    frequencies = None
+    for label, cfg in (("gated", gated_cfg), ("bypassed", bypassed_cfg)):
+        builder = SkylakePdnBuilder(cfg)
+        analysis = ACAnalysis(builder.build_netlist(), builder.observation_node())
+        profile = analysis.sweep(
+            start_hz=1e5,
+            stop_hz=1e8,
+            points_per_decade=points_per_decade,
+            label=label,
+            frequencies_hz=frequencies,
+        )
+        if frequencies is None:
+            frequencies = [p.frequency_hz for p in profile.points]
+        profiles[label] = profile
+    return Fig4Result(gated=profiles["gated"], bypassed=profiles["bypassed"])
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — per-benchmark SPEC CPU2006 gains at 91 W
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Per-benchmark DarkGates gains on SPEC CPU2006 base at 91 W."""
+
+    tdp_w: float
+    per_benchmark_improvement: Dict[str, float]
+    scalability_by_benchmark: Dict[str, float]
+
+    @property
+    def average_improvement(self) -> float:
+        """Average improvement across the suite."""
+        values = list(self.per_benchmark_improvement.values())
+        return sum(values) / len(values)
+
+    @property
+    def max_improvement(self) -> float:
+        """Largest single-benchmark improvement."""
+        return max(self.per_benchmark_improvement.values())
+
+    def best_benchmark(self) -> str:
+        """Benchmark with the largest improvement."""
+        return max(
+            self.per_benchmark_improvement, key=self.per_benchmark_improvement.get
+        )
+
+    def worst_benchmark(self) -> str:
+        """Benchmark with the smallest improvement."""
+        return min(
+            self.per_benchmark_improvement, key=self.per_benchmark_improvement.get
+        )
+
+    def as_text(self) -> str:
+        """Render the per-benchmark improvements as a text table."""
+        rows = [
+            [name, f"{value * 100:.1f}%", f"{self.scalability_by_benchmark[name]:.2f}"]
+            for name, value in sorted(
+                self.per_benchmark_improvement.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        rows.append(["AVERAGE", f"{self.average_improvement * 100:.1f}%", ""])
+        return format_table(
+            ["benchmark", "improvement", "freq scalability"],
+            rows,
+            title=f"Fig. 7: SPEC CPU2006 base at {self.tdp_w:.0f} W",
+        )
+
+
+def run_fig7_spec_per_benchmark(tdp_w: float = 91.0) -> Fig7Result:
+    """Reproduce Fig. 7: per-benchmark SPEC gains of DarkGates at 91 W."""
+    comparison = SystemComparison(tdp_w)
+    suite = spec_cpu2006_suite(active_cores=1)
+    improvements = {}
+    scalability = {}
+    for workload in suite:
+        result = comparison.compare_cpu(workload)
+        improvements[workload.name] = result.performance_improvement
+        scalability[workload.name] = workload.frequency_scalability
+    return Fig7Result(
+        tdp_w=tdp_w,
+        per_benchmark_improvement=improvements,
+        scalability_by_benchmark=scalability,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — average SPEC gains across TDP levels
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Average SPEC base/rate gains per TDP level (paper Fig. 8)."""
+
+    tdp_levels_w: Tuple[float, ...]
+    base_improvements: List[float]
+    rate_improvements: List[float]
+
+    def as_text(self) -> str:
+        """Render the averages as a text table."""
+        rows = [
+            [
+                f"{tdp:.0f}W",
+                f"{base * 100:.1f}%",
+                f"{rate * 100:.1f}%",
+            ]
+            for tdp, base, rate in zip(
+                self.tdp_levels_w, self.base_improvements, self.rate_improvements
+            )
+        ]
+        return format_table(
+            ["TDP", "SPEC_base", "SPEC_rate"],
+            rows,
+            title="Fig. 8: average SPEC CPU2006 improvement",
+        )
+
+
+def run_fig8_spec_tdp_sweep(
+    tdp_levels_w: Tuple[float, ...] = SKYLAKE_TDP_LEVELS_W,
+) -> Fig8Result:
+    """Reproduce Fig. 8: average SPEC gains across the TDP sweep."""
+    base_improvements = []
+    rate_improvements = []
+    for tdp in tdp_levels_w:
+        comparison = SystemComparison(tdp)
+        core_count = comparison.darkgates_engine.pcode.processor.core_count
+        base_suite = spec_cpu2006_suite(active_cores=1)
+        rate_suite = spec_cpu2006_suite(active_cores=core_count)
+        base_improvements.append(comparison.average_cpu_improvement(base_suite))
+        rate_improvements.append(comparison.average_cpu_improvement(rate_suite))
+    return Fig8Result(
+        tdp_levels_w=tuple(tdp_levels_w),
+        base_improvements=base_improvements,
+        rate_improvements=rate_improvements,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — 3DMark degradation across TDP levels
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Average 3DMark degradation per TDP level (paper Fig. 9)."""
+
+    tdp_levels_w: Tuple[float, ...]
+    average_degradation: List[float]
+
+    def degradation_at(self, tdp_w: float) -> float:
+        """Average degradation at one TDP level."""
+        return self.average_degradation[self.tdp_levels_w.index(tdp_w)]
+
+    def as_text(self) -> str:
+        """Render the degradations as a text table."""
+        rows = [
+            [f"{tdp:.0f}W", f"{value * 100:.2f}%"]
+            for tdp, value in zip(self.tdp_levels_w, self.average_degradation)
+        ]
+        return format_table(
+            ["TDP", "3DMark degradation"],
+            rows,
+            title="Fig. 9: graphics performance impact",
+        )
+
+
+def run_fig9_graphics_degradation(
+    tdp_levels_w: Tuple[float, ...] = SKYLAKE_TDP_LEVELS_W,
+) -> Fig9Result:
+    """Reproduce Fig. 9: 3DMark degradation of DarkGates per TDP level."""
+    suite = three_dmark_suite()
+    degradations = []
+    for tdp in tdp_levels_w:
+        comparison = SystemComparison(tdp)
+        degradations.append(comparison.average_graphics_degradation(suite))
+    return Fig9Result(
+        tdp_levels_w=tuple(tdp_levels_w), average_degradation=degradations
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — energy-efficiency workloads
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Average-power reductions for the energy scenarios (paper Fig. 10)."""
+
+    #: scenario name -> (DarkGates+C8 reduction, Non-DarkGates+C7 reduction)
+    reductions: Dict[str, Tuple[float, float]]
+    #: scenario name -> (DarkGates+C7 meets limit, DarkGates+C8 meets limit,
+    #:                   Non-DarkGates+C7 meets limit)
+    limit_compliance: Dict[str, Tuple[bool, bool, bool]]
+    #: scenario name -> average power of the DarkGates+C7 reference (watts)
+    reference_power_w: Dict[str, float]
+
+    def as_text(self) -> str:
+        """Render the reductions as a text table."""
+        rows = []
+        for scenario, (c8, baseline) in self.reductions.items():
+            compliance = self.limit_compliance[scenario]
+            rows.append(
+                [
+                    scenario,
+                    f"{c8 * 100:.0f}%",
+                    f"{baseline * 100:.0f}%",
+                    "yes" if compliance[1] else "no",
+                    "yes" if compliance[0] else "no",
+                ]
+            )
+        return format_table(
+            [
+                "scenario",
+                "DarkGates+C8 reduction",
+                "Non-DarkGates+C7 reduction",
+                "DarkGates+C8 meets limit",
+                "DarkGates+C7 meets limit",
+            ],
+            rows,
+            title="Fig. 10: energy-efficiency workloads (vs DarkGates+C7)",
+        )
+
+
+def run_fig10_energy_efficiency(tdp_w: float = 91.0) -> Fig10Result:
+    """Reproduce Fig. 10: ENERGY STAR and RMT average-power reductions."""
+    comparison = SystemComparison(tdp_w)
+    reductions: Dict[str, Tuple[float, float]] = {}
+    compliance: Dict[str, Tuple[bool, bool, bool]] = {}
+    reference: Dict[str, float] = {}
+    for scenario in (energy_star_scenario(), rmt_scenario()):
+        result = comparison.compare_energy(scenario)
+        reductions[scenario.name] = (
+            result.darkgates_c8_reduction,
+            result.baseline_c7_reduction,
+        )
+        compliance[scenario.name] = (
+            result.darkgates_c7.meets_limit,
+            result.darkgates_c8.meets_limit,
+            result.baseline_c7.meets_limit,
+        )
+        reference[scenario.name] = result.darkgates_c7.average_power_w
+    return Fig10Result(
+        reductions=reductions,
+        limit_compliance=compliance,
+        reference_power_w=reference,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 2, and the Section 4.2 reliability numbers
+# ---------------------------------------------------------------------------
+
+def run_table1_package_cstates() -> List[Tuple[str, str]]:
+    """Reproduce Table 1: package C-states and their entry conditions."""
+    return table1_rows()
+
+
+def run_table2_system_parameters() -> Tuple[SkuDescription, SkuDescription]:
+    """Reproduce Table 2: parameters of the evaluated systems."""
+    return sku_descriptions()
+
+
+@dataclass(frozen=True)
+class ReliabilityResult:
+    """The Section 4.2 reliability-guardband numbers."""
+
+    high_tdp_guardband_v: float
+    low_tdp_guardband_v: float
+
+
+def run_sec42_reliability_guardband() -> ReliabilityResult:
+    """Reproduce the Section 4.2 reliability guardband estimates."""
+    model = ReliabilityGuardbandModel()
+    return ReliabilityResult(
+        high_tdp_guardband_v=model.guardband_for_high_tdp_desktop(),
+        low_tdp_guardband_v=model.guardband_for_low_tdp_desktop(),
+    )

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple fixed-width text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row values; each row must have the same length as *headers*.
+    title:
+        Optional title printed above the table.
+    """
+    materialised: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} columns, expected {len(headers)}"
+            )
+        materialised.append([_format_cell(value) for value in row])
+
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,68 @@
+"""Shared utilities for the DarkGates reproduction library.
+
+This package holds the small building blocks used across every other
+subpackage: unit conversion helpers, physical constants, input validation,
+frequency grids, and the library's exception hierarchy.
+"""
+
+from repro.common.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ConstraintViolation,
+    ReproError,
+    SimulationError,
+)
+from repro.common.units import (
+    GHZ,
+    KHZ,
+    MHZ,
+    MILLI,
+    MICRO,
+    NANO,
+    PICO,
+    celsius_to_kelvin,
+    from_ghz,
+    from_mhz,
+    from_mv,
+    from_mohm,
+    kelvin_to_celsius,
+    to_ghz,
+    to_mhz,
+    to_mv,
+    to_mohm,
+)
+from repro.common.grid import FrequencyGrid
+from repro.common.validation import (
+    ensure_in_range,
+    ensure_non_negative,
+    ensure_positive,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ConstraintViolation",
+    "SimulationError",
+    "CalibrationError",
+    "GHZ",
+    "MHZ",
+    "KHZ",
+    "MILLI",
+    "MICRO",
+    "NANO",
+    "PICO",
+    "from_ghz",
+    "from_mhz",
+    "from_mv",
+    "from_mohm",
+    "to_ghz",
+    "to_mhz",
+    "to_mv",
+    "to_mohm",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "FrequencyGrid",
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_in_range",
+]

@@ -1,0 +1,122 @@
+"""Frequency grids.
+
+Modern Intel processors change CPU core frequency in discrete steps of one
+bus-clock multiple (100 MHz on Skylake-class parts).  The paper leans on
+this granularity twice:
+
+* Section 3, Observation 1 — the *relative* frequency gain from a reduced
+  guardband is larger at low TDP because the extra headroom converts into
+  the same number of 100 MHz bins on top of a lower baseline frequency.
+* Section 7.1 — the reported SPEC gains are produced by the firmware
+  stepping frequency bin by bin until a limit (TDP, Vmax, or Iccmax) is hit.
+
+:class:`FrequencyGrid` models that quantisation.  All frequencies are in Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MHZ
+from repro.common.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class FrequencyGrid:
+    """A quantised range of operating frequencies.
+
+    Parameters
+    ----------
+    min_hz:
+        Lowest selectable frequency (inclusive).  On Skylake client parts
+        this is the 800 MHz "Pn-ish" floor of the core domain.
+    max_hz:
+        Highest selectable frequency (inclusive).
+    step_hz:
+        Bin size; 100 MHz for every SKU modelled in this library.
+    """
+
+    min_hz: float
+    max_hz: float
+    step_hz: float = 100 * MHZ
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.min_hz, "min_hz")
+        ensure_positive(self.max_hz, "max_hz")
+        ensure_positive(self.step_hz, "step_hz")
+        if self.max_hz < self.min_hz:
+            raise ConfigurationError(
+                f"max_hz ({self.max_hz}) must be >= min_hz ({self.min_hz})"
+            )
+
+    # -- quantisation ---------------------------------------------------------
+
+    def floor(self, frequency_hz: float) -> float:
+        """Quantise *frequency_hz* down to the nearest selectable bin.
+
+        The result is clamped to the grid: anything below ``min_hz`` maps to
+        ``min_hz`` and anything above ``max_hz`` maps to ``max_hz``.
+        """
+        if frequency_hz >= self.max_hz:
+            return self.max_hz
+        if frequency_hz <= self.min_hz:
+            return self.min_hz
+        bins = int((frequency_hz - self.min_hz) / self.step_hz + 1e-9)
+        return self.min_hz + bins * self.step_hz
+
+    def ceil(self, frequency_hz: float) -> float:
+        """Quantise *frequency_hz* up to the nearest selectable bin (clamped)."""
+        floored = self.floor(frequency_hz)
+        if floored >= frequency_hz - 1e-9 or floored >= self.max_hz:
+            return floored
+        return min(self.max_hz, floored + self.step_hz)
+
+    def clamp(self, frequency_hz: float) -> float:
+        """Clamp *frequency_hz* into [min_hz, max_hz] without quantising."""
+        return min(self.max_hz, max(self.min_hz, frequency_hz))
+
+    def contains(self, frequency_hz: float) -> bool:
+        """Return True when *frequency_hz* is (within tolerance) a grid point.
+
+        ``max_hz`` always counts as selectable even when the span is not an
+        exact multiple of the step (the top bin is clamped there).
+        """
+        if not self.min_hz - 1e-6 <= frequency_hz <= self.max_hz + 1e-6:
+            return False
+        if abs(frequency_hz - self.max_hz) <= 1e-6 * max(1.0, self.max_hz):
+            return True
+        offset = (frequency_hz - self.min_hz) / self.step_hz
+        return abs(offset - round(offset)) < 1e-6
+
+    # -- iteration ------------------------------------------------------------
+
+    def points(self) -> List[float]:
+        """Return every selectable frequency, ascending."""
+        return list(self)
+
+    def descending(self) -> List[float]:
+        """Return every selectable frequency, descending.
+
+        The firmware search loops in this library walk down from the highest
+        bin, mirroring how turbo resolution works on the real part.
+        """
+        return list(reversed(self.points()))
+
+    def __iter__(self) -> Iterator[float]:
+        value = self.min_hz
+        while value <= self.max_hz + 1e-6:
+            yield min(value, self.max_hz)
+            value += self.step_hz
+
+    def __len__(self) -> int:
+        return int((self.max_hz - self.min_hz) / self.step_hz + 1e-9) + 1
+
+    def step_down(self, frequency_hz: float) -> float:
+        """Return the next lower grid point, clamped at ``min_hz``."""
+        return max(self.min_hz, self.floor(frequency_hz - self.step_hz))
+
+    def step_up(self, frequency_hz: float) -> float:
+        """Return the next higher grid point, clamped at ``max_hz``."""
+        return min(self.max_hz, self.ceil(frequency_hz + self.step_hz))

@@ -1,0 +1,32 @@
+"""DarkGates: the paper's contribution, packaged as the library's core API.
+
+The rest of the library provides substrates (PDN, power, SoC, firmware,
+workloads, simulation); this package assembles them into the systems the
+paper evaluates and exposes the comparison API a user actually wants:
+
+* :func:`darkgates_system` — a Skylake-S desktop with power-gates bypassed,
+  bypass-mode firmware, the reliability guardband adjustment, and package C8.
+* :func:`baseline_system` — the Skylake-H-style baseline with power-gates
+  enabled and package C7.
+* :class:`SystemComparison` — runs the same workload on both systems and
+  reports the improvement/degradation numbers of Figs. 7-10.
+* :mod:`repro.core.overhead` — the implementation-cost accounting of
+  Section 5.
+"""
+
+from repro.core.darkgates import (
+    SystemComparison,
+    baseline_system,
+    darkgates_c7_limited_system,
+    darkgates_system,
+)
+from repro.core.overhead import ImplementationOverheads, darkgates_overheads
+
+__all__ = [
+    "SystemComparison",
+    "baseline_system",
+    "darkgates_c7_limited_system",
+    "darkgates_system",
+    "ImplementationOverheads",
+    "darkgates_overheads",
+]

@@ -1,0 +1,45 @@
+"""Implementation-cost accounting (paper Section 5).
+
+DarkGates' hardware cost is deliberately tiny: the two packages already
+exist for the two market segments, the firmware grows by ~0.3 KB (<0.004 %
+of the Skylake die area), and the package-C8 flows already exist for mobile
+parts.  The only sizeable silicon cost in the whole scheme is the one the
+*baseline* pays: the per-core power-gates themselves (>5 % of core area).
+This module exposes those numbers so tests and reports can check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pmu.fuses import DARKGATES_FIRMWARE_BYTES, firmware_area_overhead_fraction
+from repro.soc.die import Die, skylake_client_die
+
+
+@dataclass(frozen=True)
+class ImplementationOverheads:
+    """The overhead numbers reported in Section 5."""
+
+    firmware_bytes: int
+    firmware_die_area_fraction: float
+    power_gate_core_area_fraction: float
+    power_gate_die_area_fraction: float
+    requires_new_package: bool
+
+    @property
+    def firmware_area_below_claim(self) -> bool:
+        """True when the firmware area overhead is below the paper's 0.004 %."""
+        return self.firmware_die_area_fraction < 0.00004
+
+
+def darkgates_overheads(die: Die | None = None) -> ImplementationOverheads:
+    """Compute the implementation overheads for a die (Skylake by default)."""
+    target = die or skylake_client_die()
+    core = target.cores[0]
+    return ImplementationOverheads(
+        firmware_bytes=DARKGATES_FIRMWARE_BYTES,
+        firmware_die_area_fraction=firmware_area_overhead_fraction(target.area_mm2),
+        power_gate_core_area_fraction=core.power_gate_area_overhead(),
+        power_gate_die_area_fraction=target.power_gate_die_area_fraction(),
+        requires_new_package=False,
+    )

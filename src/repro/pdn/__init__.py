@@ -1,0 +1,56 @@
+"""Power-delivery-network (PDN) substrate.
+
+The paper's key electrical observation (Section 3, Observation 2 and
+Fig. 4) is that per-core power-gates roughly double the impedance the CPU
+cores see from the power-delivery network, which doubles the voltage-drop
+guardband the firmware must carry.  This package models that network:
+
+* :mod:`repro.pdn.elements` — lumped R/L/C elements with complex admittance.
+* :mod:`repro.pdn.netlist` — a node/branch netlist and its admittance matrix.
+* :mod:`repro.pdn.ac` — small-signal AC impedance analysis over a frequency
+  sweep (the machinery behind Fig. 4).
+* :mod:`repro.pdn.ladder` — the Skylake VR → board → package → die ladder
+  topology, with and without power-gates.
+* :mod:`repro.pdn.powergate` — electrical model of a core-sized power-gate.
+* :mod:`repro.pdn.decap` — die MIM and package/board decoupling capacitors.
+* :mod:`repro.pdn.vr` — motherboard voltage-regulator model.
+* :mod:`repro.pdn.loadline` — the load-line / adaptive-voltage-positioning
+  model of Fig. 2, with multi-level power-virus guardbands.
+* :mod:`repro.pdn.droop` — time-domain di/dt droop simulation.
+* :mod:`repro.pdn.guardband` — translation of impedance and droop into the
+  voltage guardband the PMU applies.
+"""
+
+from repro.pdn.ac import ACAnalysis, ImpedanceProfile
+from repro.pdn.decap import CapacitorBank, die_mim_bank, package_decap_bank
+from repro.pdn.elements import Capacitor, Inductor, Resistor
+from repro.pdn.guardband import GuardbandBreakdown, GuardbandModel
+from repro.pdn.ladder import SkylakePdnBuilder, PdnConfiguration
+from repro.pdn.loadline import LoadLine, PowerVirusLevel, VirusLevelTable
+from repro.pdn.netlist import Netlist
+from repro.pdn.powergate import PowerGate
+from repro.pdn.droop import DroopSimulator, DroopResult
+from repro.pdn.vr import VoltageRegulator
+
+__all__ = [
+    "ACAnalysis",
+    "ImpedanceProfile",
+    "CapacitorBank",
+    "die_mim_bank",
+    "package_decap_bank",
+    "Capacitor",
+    "Inductor",
+    "Resistor",
+    "GuardbandBreakdown",
+    "GuardbandModel",
+    "SkylakePdnBuilder",
+    "PdnConfiguration",
+    "LoadLine",
+    "PowerVirusLevel",
+    "VirusLevelTable",
+    "Netlist",
+    "PowerGate",
+    "DroopSimulator",
+    "DroopResult",
+    "VoltageRegulator",
+]

@@ -1,0 +1,151 @@
+"""Decoupling-capacitor banks.
+
+The paper's bypass technique works because shorting the gated and ungated
+voltage domains lets every core share the die's Metal-Insulator-Metal (MIM)
+capacitance and the package decaps (Section 4.1).  This module models those
+banks as single lumped capacitors with effective ESR/ESL, plus helpers that
+build banks representative of a Skylake-class client die and package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import ensure_non_negative, ensure_positive
+from repro.pdn.elements import Capacitor
+
+
+@dataclass(frozen=True)
+class CapacitorBank:
+    """A bank of identical decoupling capacitors in parallel.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in netlist branch names.
+    unit_capacitance_f:
+        Capacitance of a single unit.
+    unit_esr_ohm:
+        Equivalent series resistance of a single unit.
+    unit_esl_h:
+        Equivalent series inductance of a single unit.
+    count:
+        Number of units in parallel.
+    """
+
+    name: str
+    unit_capacitance_f: float
+    unit_esr_ohm: float
+    unit_esl_h: float
+    count: int
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.unit_capacitance_f, "unit_capacitance_f")
+        ensure_non_negative(self.unit_esr_ohm, "unit_esr_ohm")
+        ensure_non_negative(self.unit_esl_h, "unit_esl_h")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    # -- aggregation ---------------------------------------------------------------
+
+    @property
+    def total_capacitance_f(self) -> float:
+        """Total capacitance of the bank."""
+        return self.unit_capacitance_f * self.count
+
+    @property
+    def effective_esr_ohm(self) -> float:
+        """Effective ESR of the parallel combination."""
+        return self.unit_esr_ohm / self.count
+
+    @property
+    def effective_esl_h(self) -> float:
+        """Effective ESL of the parallel combination."""
+        return self.unit_esl_h / self.count
+
+    def as_capacitor(self) -> Capacitor:
+        """Lumped equivalent of the whole bank."""
+        return Capacitor(
+            capacitance_f=self.total_capacitance_f,
+            esr_ohm=self.effective_esr_ohm,
+            esl_h=self.effective_esl_h,
+        )
+
+    def split(self, parts: int) -> "CapacitorBank":
+        """Return a bank holding ``count / parts`` units (at least one).
+
+        Used to partition the die MIM capacitance between per-core gated
+        domains in the baseline (gated) PDN topology.
+        """
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        return CapacitorBank(
+            name=f"{self.name}_split{parts}",
+            unit_capacitance_f=self.unit_capacitance_f,
+            unit_esr_ohm=self.unit_esr_ohm,
+            unit_esl_h=self.unit_esl_h,
+            count=max(1, self.count // parts),
+        )
+
+    def scaled(self, factor: float) -> "CapacitorBank":
+        """Return a bank with the unit count scaled by *factor* (at least one)."""
+        ensure_positive(factor, "factor")
+        return CapacitorBank(
+            name=f"{self.name}_x{factor:g}",
+            unit_capacitance_f=self.unit_capacitance_f,
+            unit_esr_ohm=self.unit_esr_ohm,
+            unit_esl_h=self.unit_esl_h,
+            count=max(1, int(round(self.count * factor))),
+        )
+
+
+# -- representative banks ------------------------------------------------------------
+
+
+def die_mim_bank(name: str = "die_mim", count: int = 12000) -> CapacitorBank:
+    """Die-side Metal-Insulator-Metal capacitance for the core domain.
+
+    MIM capacitors are distributed across the die in the upper metal layers;
+    each "unit" here is a small tile.  The aggregate for a four-core Skylake
+    core domain is on the order of a few microfarads with very low mounted
+    inductance, which is what damps the die-level (tens of MHz) resonance.
+    """
+    return CapacitorBank(
+        name=name,
+        unit_capacitance_f=500e-12,
+        unit_esr_ohm=1.2,
+        unit_esl_h=4e-12,
+        count=count,
+    )
+
+
+def package_decap_bank(name: str = "pkg_decap", count: int = 18) -> CapacitorBank:
+    """Package-substrate decoupling capacitors for the core domain.
+
+    Land-side / die-side ceramic capacitors of a few microfarads each with
+    sub-nanohenry mounted inductance.  These control the package resonance
+    in the hundreds-of-kHz to few-MHz range of Fig. 4.
+    """
+    return CapacitorBank(
+        name=name,
+        unit_capacitance_f=2.2e-6,
+        unit_esr_ohm=6e-3,
+        unit_esl_h=0.5e-9,
+        count=count,
+    )
+
+
+def board_bulk_bank(name: str = "board_bulk", count: int = 10) -> CapacitorBank:
+    """Motherboard bulk capacitance behind the socket.
+
+    Polymer/electrolytic bulk capacitors of hundreds of microfarads each;
+    they hold the rail between VR control-loop updates and set the
+    low-frequency end of the impedance profile.
+    """
+    return CapacitorBank(
+        name=name,
+        unit_capacitance_f=330e-6,
+        unit_esr_ohm=5e-3,
+        unit_esl_h=3.5e-9,
+        count=count,
+    )

@@ -1,0 +1,250 @@
+"""Time-domain di/dt droop simulation.
+
+When a core suddenly raises its current demand (for example when a
+power-gated core wakes up, or an AVX burst begins), the supply voltage at
+the die droops below its DC value until the decoupling capacitors and the
+VR catch up.  The worst-case droop sets the transient ("droop") portion of
+the voltage guardband (paper Section 2.4.2, "Voltage Droop Effect on Fmax").
+
+The simulator integrates the three-stage R-L / C ladder produced by
+:class:`~repro.pdn.ladder.SkylakePdnBuilder` with a fixed-step fourth-order
+Runge-Kutta scheme.  State variables are the series-branch currents and the
+capacitor voltages of each stage; the load is an ideal current source at the
+last (die) node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.common.validation import ensure_positive
+from repro.pdn.ladder import LadderStage
+
+
+@dataclass(frozen=True)
+class DroopResult:
+    """Outcome of a droop simulation.
+
+    Attributes
+    ----------
+    time_s:
+        Simulation time points.
+    load_voltage_v:
+        Voltage at the die (load) node over time.
+    nominal_voltage_v:
+        The unloaded rail voltage used for the run.
+    """
+
+    time_s: np.ndarray
+    load_voltage_v: np.ndarray
+    nominal_voltage_v: float
+
+    @property
+    def worst_droop_v(self) -> float:
+        """Largest instantaneous drop below the pre-step settled voltage."""
+        settled = self.load_voltage_v[0]
+        return float(settled - self.load_voltage_v.min())
+
+    @property
+    def settled_drop_v(self) -> float:
+        """DC (IR) drop after the transient has settled."""
+        settled_initial = self.load_voltage_v[0]
+        settled_final = float(np.mean(self.load_voltage_v[-max(5, len(self.load_voltage_v) // 50):]))
+        return settled_initial - settled_final
+
+    @property
+    def transient_overshoot_v(self) -> float:
+        """Droop in excess of the final DC drop (the purely transient part)."""
+        return max(0.0, self.worst_droop_v - max(0.0, self.settled_drop_v))
+
+    def minimum_voltage_v(self) -> float:
+        """Lowest instantaneous load voltage observed."""
+        return float(self.load_voltage_v.min())
+
+
+class DroopSimulator:
+    """Fixed-step transient simulator for an R-L / C ladder.
+
+    Parameters
+    ----------
+    stages:
+        Ladder stages from source to load.  The source end is an ideal
+        voltage source at ``nominal_voltage_v``.
+    nominal_voltage_v:
+        Unloaded rail voltage.
+    """
+
+    def __init__(self, stages: Sequence[LadderStage], nominal_voltage_v: float = 1.0) -> None:
+        if not stages:
+            raise ConfigurationError("droop simulator needs at least one ladder stage")
+        ensure_positive(nominal_voltage_v, "nominal_voltage_v")
+        self._stages = list(stages)
+        self._nominal_voltage_v = nominal_voltage_v
+
+    # -- public API ------------------------------------------------------------------
+
+    def simulate_current_step(
+        self,
+        step_current_a: float,
+        initial_current_a: float = 0.0,
+        rise_time_s: float = 2e-9,
+        duration_s: float = 2e-6,
+        time_step_s: float = 0.5e-9,
+    ) -> DroopResult:
+        """Simulate the response to a load-current step at the die node.
+
+        Parameters
+        ----------
+        step_current_a:
+            Final load current after the step.
+        initial_current_a:
+            Load current before the step (the network is settled at this
+            current before the step is applied).
+        rise_time_s:
+            Linear ramp time of the current step; a few nanoseconds models
+            the staggered power-gate wake-up or an instruction-mix change.
+        duration_s:
+            Simulated time after the step begins.
+        time_step_s:
+            Integration step.  Must resolve the fastest L/C time constant;
+            the default of 0.5 ns is comfortable for die-level resonances of
+            up to ~150 MHz.
+        """
+        ensure_positive(duration_s, "duration_s")
+        ensure_positive(time_step_s, "time_step_s")
+        if step_current_a < 0 or initial_current_a < 0:
+            raise ConfigurationError("load currents must be >= 0")
+
+        def load_current(time_s: float) -> float:
+            if time_s <= 0:
+                return initial_current_a
+            if time_s >= rise_time_s:
+                return step_current_a
+            fraction = time_s / rise_time_s
+            return initial_current_a + fraction * (step_current_a - initial_current_a)
+
+        return self._integrate(load_current, duration_s, time_step_s, initial_current_a)
+
+    def simulate_profile(
+        self,
+        load_profile: Callable[[float], float],
+        duration_s: float,
+        time_step_s: float = 0.5e-9,
+        initial_current_a: float = 0.0,
+    ) -> DroopResult:
+        """Simulate an arbitrary load-current profile ``i(t)``."""
+        ensure_positive(duration_s, "duration_s")
+        ensure_positive(time_step_s, "time_step_s")
+        return self._integrate(load_profile, duration_s, time_step_s, initial_current_a)
+
+    # -- integration ------------------------------------------------------------------
+
+    def _settled_state(self, load_current_a: float) -> np.ndarray:
+        """Analytic DC steady state for a constant load current."""
+        stage_count = len(self._stages)
+        state = np.zeros(2 * stage_count)
+        # All series branches carry the load current at DC.
+        state[:stage_count] = load_current_a
+        # Capacitor voltages equal their node voltages (no capacitor current).
+        voltage = self._nominal_voltage_v
+        for index, stage in enumerate(self._stages):
+            voltage -= stage.series_resistance_ohm * load_current_a
+            state[stage_count + index] = voltage
+        return state
+
+    def _derivative(
+        self, state: np.ndarray, load_current_a: float
+    ) -> np.ndarray:
+        stage_count = len(self._stages)
+        currents = state[:stage_count]
+        cap_voltages = state[stage_count:]
+        node_voltages = np.empty(stage_count)
+        cap_currents = np.empty(stage_count)
+        # Capacitor current of stage k is the series current into the node
+        # minus the series current leaving it (or the load at the last node).
+        for index in range(stage_count):
+            downstream = currents[index + 1] if index + 1 < stage_count else load_current_a
+            cap_currents[index] = currents[index] - downstream
+            node_voltages[index] = (
+                cap_voltages[index] + self._stages[index].shunt_esr_ohm * cap_currents[index]
+            )
+        derivative = np.empty_like(state)
+        for index, stage in enumerate(self._stages):
+            upstream_voltage = (
+                self._nominal_voltage_v if index == 0 else node_voltages[index - 1]
+            )
+            derivative[index] = (
+                upstream_voltage
+                - node_voltages[index]
+                - stage.series_resistance_ohm * currents[index]
+            ) / stage.series_inductance_h
+            derivative[stage_count + index] = (
+                cap_currents[index] / stage.shunt_capacitance_f
+            )
+        return derivative
+
+    def _integrate(
+        self,
+        load_profile: Callable[[float], float],
+        duration_s: float,
+        time_step_s: float,
+        initial_current_a: float,
+    ) -> DroopResult:
+        steps = int(round(duration_s / time_step_s))
+        if steps < 2:
+            raise SimulationError("duration too short for the chosen time step")
+        stage_count = len(self._stages)
+        state = self._settled_state(initial_current_a)
+        times = np.empty(steps + 1)
+        load_voltages = np.empty(steps + 1)
+        times[0] = 0.0
+        load_voltages[0] = self._node_voltage(state, load_profile(0.0), stage_count - 1)
+        time_s = 0.0
+        for step in range(1, steps + 1):
+            state = self._rk4_step(state, time_s, time_step_s, load_profile)
+            time_s += time_step_s
+            times[step] = time_s
+            load_voltages[step] = self._node_voltage(
+                state, load_profile(time_s), stage_count - 1
+            )
+            if not np.all(np.isfinite(state)):
+                raise SimulationError(
+                    "droop integration diverged; reduce time_step_s"
+                )
+        return DroopResult(
+            time_s=times,
+            load_voltage_v=load_voltages,
+            nominal_voltage_v=self._nominal_voltage_v,
+        )
+
+    def _rk4_step(
+        self,
+        state: np.ndarray,
+        time_s: float,
+        time_step_s: float,
+        load_profile: Callable[[float], float],
+    ) -> np.ndarray:
+        half = time_step_s / 2.0
+        k1 = self._derivative(state, load_profile(time_s))
+        k2 = self._derivative(state + half * k1, load_profile(time_s + half))
+        k3 = self._derivative(state + half * k2, load_profile(time_s + half))
+        k4 = self._derivative(state + time_step_s * k3, load_profile(time_s + time_step_s))
+        return state + (time_step_s / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+
+    def _node_voltage(
+        self, state: np.ndarray, load_current_a: float, node_index: int
+    ) -> float:
+        stage_count = len(self._stages)
+        currents = state[:stage_count]
+        cap_voltage = state[stage_count + node_index]
+        downstream = (
+            currents[node_index + 1] if node_index + 1 < stage_count else load_current_a
+        )
+        cap_current = currents[node_index] - downstream
+        return float(
+            cap_voltage + self._stages[node_index].shunt_esr_ohm * cap_current
+        )

@@ -1,0 +1,132 @@
+"""Lumped circuit elements used to model the power-delivery network.
+
+Only three element kinds are needed to reproduce the paper's impedance
+analysis: resistors, inductors, and capacitors.  Each element exposes its
+complex admittance at a given angular frequency so the netlist can stamp it
+into a nodal-analysis matrix, and its behaviour at DC so the load-line and
+droop models can reuse the same objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import ensure_non_negative, ensure_positive
+
+_OPEN_CIRCUIT_ADMITTANCE = 0.0 + 0.0j
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """An ideal resistor.
+
+    Parameters
+    ----------
+    resistance_ohm:
+        Resistance in ohms.  Must be strictly positive; a "shorting" branch
+        (for example a bypassed power-gate) should use a small but non-zero
+        value so the admittance matrix stays well conditioned.
+    """
+
+    resistance_ohm: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.resistance_ohm, "resistance_ohm")
+
+    def admittance(self, omega_rad_s: float) -> complex:
+        """Complex admittance at angular frequency *omega_rad_s*."""
+        del omega_rad_s  # resistors are frequency independent
+        return 1.0 / self.resistance_ohm + 0.0j
+
+    def dc_resistance(self) -> float:
+        """Series resistance at DC, used by the load-line model."""
+        return self.resistance_ohm
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """An inductor with an optional series resistance (DCR).
+
+    Parameters
+    ----------
+    inductance_h:
+        Inductance in henries.
+    series_resistance_ohm:
+        Parasitic series resistance in ohms (may be zero).
+    """
+
+    inductance_h: float
+    series_resistance_ohm: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.inductance_h, "inductance_h")
+        ensure_non_negative(self.series_resistance_ohm, "series_resistance_ohm")
+
+    def admittance(self, omega_rad_s: float) -> complex:
+        """Complex admittance of the series R + L branch."""
+        impedance = self.series_resistance_ohm + 1j * omega_rad_s * self.inductance_h
+        if impedance == 0:
+            # Ideal inductor at DC is a short circuit; represent it with a
+            # very large (but finite) admittance to keep the matrix solvable.
+            return 1e12 + 0.0j
+        return 1.0 / impedance
+
+    def dc_resistance(self) -> float:
+        """Series resistance at DC (an ideal inductor is a DC short)."""
+        return self.series_resistance_ohm
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A capacitor with optional equivalent series resistance and inductance.
+
+    Real decoupling capacitors are not ideal: their effective impedance is a
+    series R-L-C.  The equivalent series inductance (ESL) is what creates the
+    anti-resonance peaks visible in the paper's Fig. 4.
+
+    Parameters
+    ----------
+    capacitance_f:
+        Capacitance in farads.
+    esr_ohm:
+        Equivalent series resistance in ohms.
+    esl_h:
+        Equivalent series inductance in henries.
+    """
+
+    capacitance_f: float
+    esr_ohm: float = 0.0
+    esl_h: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.capacitance_f, "capacitance_f")
+        ensure_non_negative(self.esr_ohm, "esr_ohm")
+        ensure_non_negative(self.esl_h, "esl_h")
+
+    def admittance(self, omega_rad_s: float) -> complex:
+        """Complex admittance of the series C + ESR + ESL branch."""
+        if omega_rad_s == 0:
+            # A capacitor blocks DC entirely.
+            return _OPEN_CIRCUIT_ADMITTANCE
+        impedance = (
+            self.esr_ohm
+            + 1j * omega_rad_s * self.esl_h
+            + 1.0 / (1j * omega_rad_s * self.capacitance_f)
+        )
+        return 1.0 / impedance
+
+    def dc_resistance(self) -> float:
+        """A capacitor is an open circuit at DC."""
+        return float("inf")
+
+    def self_resonance_hz(self) -> float:
+        """Series self-resonant frequency of the capacitor, in Hz.
+
+        Below this frequency the part behaves capacitively, above it the ESL
+        dominates.  Returns ``inf`` for an ideal capacitor with no ESL.
+        """
+        if self.esl_h == 0:
+            return float("inf")
+        import math
+
+        return 1.0 / (2.0 * math.pi * math.sqrt(self.esl_h * self.capacitance_f))

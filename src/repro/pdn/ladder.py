@@ -1,0 +1,365 @@
+"""Skylake-class PDN topology builder.
+
+The builder produces two views of the same physical network:
+
+* a :class:`~repro.pdn.netlist.Netlist` for small-signal AC impedance
+  analysis (the paper's Fig. 4), and
+* a list of :class:`LadderStage` objects for the time-domain droop simulator.
+
+Two configurations are supported, matching the paper's Fig. 1 and Fig. 6:
+
+* **gated** (Skylake-H / mobile) — the shared ungated domain ``VCU`` feeds
+  four per-core gated domains ``VC0G..VC3G`` through per-core power-gates.
+  The die MIM capacitance is partitioned between the gated domains, and each
+  core only "sees" its own slice of package routing.
+* **bypassed** (Skylake-S / desktop, DarkGates) — the package shorts all five
+  domains into one.  Every core shares all MIM capacitance, all package
+  decaps, and all package routing, and the gate resistance disappears from
+  the supply path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_in_range, ensure_positive
+from repro.pdn.decap import (
+    CapacitorBank,
+    board_bulk_bank,
+    die_mim_bank,
+    package_decap_bank,
+)
+from repro.pdn.elements import Capacitor, Inductor, Resistor
+from repro.pdn.netlist import GROUND, Netlist
+from repro.pdn.powergate import PowerGate
+from repro.pdn.vr import VoltageRegulator
+
+#: Node names used by the builder.
+VR_NODE = "vr_out"
+SOCKET_NODE = "socket"
+PACKAGE_NODE = "vcu"
+
+
+def core_node(index: int) -> str:
+    """Die-side supply node of core *index* (``VC{i}G`` in the paper)."""
+    return f"vc{index}g"
+
+
+@dataclass(frozen=True)
+class LadderStage:
+    """One series R-L plus shunt capacitor stage of the simplified ladder.
+
+    The droop simulator consumes the ladder representation because a chain of
+    identical-topology stages admits a compact state-space form.
+    """
+
+    name: str
+    series_resistance_ohm: float
+    series_inductance_h: float
+    shunt_capacitance_f: float
+    shunt_esr_ohm: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.series_resistance_ohm, "series_resistance_ohm")
+        ensure_positive(self.series_inductance_h, "series_inductance_h")
+        ensure_positive(self.shunt_capacitance_f, "shunt_capacitance_f")
+        if self.shunt_esr_ohm < 0:
+            raise ConfigurationError("shunt_esr_ohm must be >= 0")
+
+
+@dataclass(frozen=True)
+class PdnConfiguration:
+    """Component values of the Skylake-class core-domain PDN.
+
+    The defaults are calibrated so that the *gated* configuration lands in the
+    impedance range of the paper's Fig. 4 red curve (roughly 5 mOhm at a few
+    hundred kHz rising to ~16 mOhm at the die resonance) and the *bypassed*
+    configuration lands near the blue curve (roughly half of that).
+
+    Parameters
+    ----------
+    core_count:
+        Number of CPU cores fed from the shared VR.
+    vr:
+        Motherboard voltage-regulator model; its load-line plus output
+        parasitics form the low-frequency end of the profile.
+    board_resistance_ohm / board_inductance_h:
+        Motherboard plane and socket parasitics between VR and package.
+    package_resistance_ohm / package_inductance_h:
+        Package routing parasitics of the shared (ungated) domain.
+    core_grid_resistance_ohm / core_grid_inductance_h:
+        Die power-grid parasitics from the ungated domain to one core,
+        *excluding* the power-gate itself.
+    power_gate:
+        Per-core power-gate electrical model (ignored when bypassed).
+    bypassed:
+        When True the per-core domains are shorted into the shared domain.
+    package_routing_sharing_factor:
+        Multiplier (< 1) applied to package R/L when bypassed, capturing the
+        extra routing resources shared between cores (paper Section 4.1).
+    die_grid_sharing_factor:
+        Multiplier (< 1) applied to the die-grid R/L when bypassed, since all
+        cores' grid straps work in parallel for any one core's current.
+    board_bulk / package_decaps / die_mim:
+        Decoupling capacitor banks at the socket, package, and die.
+    """
+
+    core_count: int = 4
+    vr: VoltageRegulator = field(
+        default_factory=lambda: VoltageRegulator(name="mbvr", loadline_ohm=1.8e-3)
+    )
+    board_resistance_ohm: float = 0.35e-3
+    board_inductance_h: float = 70e-12
+    package_resistance_ohm: float = 0.75e-3
+    package_inductance_h: float = 14e-12
+    core_grid_resistance_ohm: float = 1.3e-3
+    core_grid_inductance_h: float = 8.0e-12
+    power_gate: PowerGate = field(
+        default_factory=lambda: PowerGate.sized_for_core(
+            name="core_pg", core_area_mm2=8.5, area_overhead_fraction=0.03
+        )
+    )
+    bypassed: bool = False
+    package_routing_sharing_factor: float = 0.62
+    die_grid_sharing_factor: float = 0.42
+    board_bulk: CapacitorBank = field(default_factory=board_bulk_bank)
+    package_decaps: CapacitorBank = field(default_factory=package_decap_bank)
+    die_mim: CapacitorBank = field(default_factory=die_mim_bank)
+
+    def __post_init__(self) -> None:
+        if self.core_count < 1:
+            raise ConfigurationError(f"core_count must be >= 1, got {self.core_count}")
+        ensure_positive(self.board_resistance_ohm, "board_resistance_ohm")
+        ensure_positive(self.board_inductance_h, "board_inductance_h")
+        ensure_positive(self.package_resistance_ohm, "package_resistance_ohm")
+        ensure_positive(self.package_inductance_h, "package_inductance_h")
+        ensure_positive(self.core_grid_resistance_ohm, "core_grid_resistance_ohm")
+        ensure_positive(self.core_grid_inductance_h, "core_grid_inductance_h")
+        ensure_in_range(
+            self.package_routing_sharing_factor,
+            0.05,
+            1.0,
+            "package_routing_sharing_factor",
+        )
+        ensure_in_range(
+            self.die_grid_sharing_factor, 0.05, 1.0, "die_grid_sharing_factor"
+        )
+
+    # -- derived configurations -----------------------------------------------------
+
+    def with_bypass(self) -> "PdnConfiguration":
+        """This configuration with the power-gates bypassed (Skylake-S)."""
+        return replace(self, bypassed=True)
+
+    def with_gates(self) -> "PdnConfiguration":
+        """This configuration with the power-gates in the path (Skylake-H)."""
+        return replace(self, bypassed=False)
+
+    # -- effective component values ---------------------------------------------------
+
+    def effective_package_resistance_ohm(self) -> float:
+        """Package routing resistance after any bypass sharing."""
+        if self.bypassed:
+            return self.package_resistance_ohm * self.package_routing_sharing_factor
+        return self.package_resistance_ohm
+
+    def effective_package_inductance_h(self) -> float:
+        """Package routing inductance after any bypass sharing."""
+        if self.bypassed:
+            return self.package_inductance_h * self.package_routing_sharing_factor
+        return self.package_inductance_h
+
+    def effective_die_path_resistance_ohm(self) -> float:
+        """Die-grid (plus gate, if present) resistance seen by one core."""
+        if self.bypassed:
+            return self.core_grid_resistance_ohm * self.die_grid_sharing_factor
+        return self.core_grid_resistance_ohm + self.power_gate.on_resistance_ohm
+
+    def effective_die_path_inductance_h(self) -> float:
+        """Die-grid inductance seen by one core."""
+        if self.bypassed:
+            return self.core_grid_inductance_h * self.die_grid_sharing_factor
+        return self.core_grid_inductance_h
+
+    def effective_die_mim(self) -> CapacitorBank:
+        """The MIM capacitance available to one core's supply node."""
+        if self.bypassed:
+            return self.die_mim
+        return self.die_mim.split(self.core_count)
+
+
+class SkylakePdnBuilder:
+    """Builds netlist and ladder views of a Skylake-class core-domain PDN."""
+
+    def __init__(self, configuration: Optional[PdnConfiguration] = None) -> None:
+        self._configuration = configuration or PdnConfiguration()
+
+    @property
+    def configuration(self) -> PdnConfiguration:
+        """The configuration this builder instantiates."""
+        return self._configuration
+
+    # -- netlist view --------------------------------------------------------------
+
+    def build_netlist(self) -> Netlist:
+        """Build the AC-analysis netlist for the configured PDN."""
+        cfg = self._configuration
+        netlist = Netlist()
+
+        # VR closed-loop output impedance: the regulated source is an AC
+        # short behind its load-line resistance and output inductance.
+        netlist.add(
+            "vr_output",
+            GROUND,
+            VR_NODE,
+            Inductor(
+                inductance_h=cfg.vr.output_inductance_h,
+                series_resistance_ohm=cfg.vr.loadline_ohm + cfg.vr.output_resistance_ohm,
+            ),
+        )
+
+        # Board plane and socket up to the package balls.
+        netlist.add(
+            "board_path",
+            VR_NODE,
+            SOCKET_NODE,
+            Inductor(
+                inductance_h=cfg.board_inductance_h,
+                series_resistance_ohm=cfg.board_resistance_ohm,
+            ),
+        )
+        netlist.add("board_bulk", SOCKET_NODE, GROUND, cfg.board_bulk.as_capacitor())
+
+        # Package routing of the shared (ungated) domain plus its decaps.
+        netlist.add(
+            "package_path",
+            SOCKET_NODE,
+            PACKAGE_NODE,
+            Inductor(
+                inductance_h=cfg.effective_package_inductance_h(),
+                series_resistance_ohm=cfg.effective_package_resistance_ohm(),
+            ),
+        )
+        netlist.add(
+            "package_decaps", PACKAGE_NODE, GROUND, cfg.package_decaps.as_capacitor()
+        )
+
+        if cfg.bypassed:
+            self._add_bypassed_die(netlist, cfg)
+        else:
+            self._add_gated_die(netlist, cfg)
+        return netlist
+
+    def observation_node(self) -> str:
+        """Node at which a core observes its supply (for impedance sweeps)."""
+        if self._configuration.bypassed:
+            return PACKAGE_NODE
+        return core_node(0)
+
+    def _add_gated_die(self, netlist: Netlist, cfg: PdnConfiguration) -> None:
+        per_core_mim = cfg.effective_die_mim()
+        for index in range(cfg.core_count):
+            node = core_node(index)
+            netlist.add(
+                f"die_grid_core{index}",
+                PACKAGE_NODE,
+                node,
+                Inductor(
+                    inductance_h=cfg.core_grid_inductance_h,
+                    series_resistance_ohm=cfg.core_grid_resistance_ohm
+                    + cfg.power_gate.on_resistance_ohm,
+                ),
+            )
+            netlist.add(f"die_mim_core{index}", node, GROUND, per_core_mim.as_capacitor())
+
+    def _add_bypassed_die(self, netlist: Netlist, cfg: PdnConfiguration) -> None:
+        # With the domains shorted, the die grid of all cores works in
+        # parallel and the full MIM bank hangs on the shared node.  A small
+        # residual series path is kept so the die resonance survives.
+        netlist.add(
+            "die_grid_shared",
+            PACKAGE_NODE,
+            core_node(0),
+            Inductor(
+                inductance_h=cfg.effective_die_path_inductance_h(),
+                series_resistance_ohm=cfg.effective_die_path_resistance_ohm(),
+            ),
+        )
+        netlist.add("die_mim_shared", core_node(0), GROUND, cfg.die_mim.as_capacitor())
+
+    # -- ladder view ---------------------------------------------------------------
+
+    def build_ladder(self) -> List[LadderStage]:
+        """Build the three-stage ladder used by the droop simulator.
+
+        Stage 1: VR + board with bulk capacitance.
+        Stage 2: package routing with package decaps.
+        Stage 3: die grid (plus gate when not bypassed) with MIM capacitance.
+        """
+        cfg = self._configuration
+        board_bulk = cfg.board_bulk.as_capacitor()
+        package_caps = cfg.package_decaps.as_capacitor()
+        die_caps = (
+            cfg.die_mim.as_capacitor()
+            if cfg.bypassed
+            else cfg.effective_die_mim().as_capacitor()
+        )
+        return [
+            LadderStage(
+                name="vr_board",
+                series_resistance_ohm=cfg.vr.loadline_ohm
+                + cfg.vr.output_resistance_ohm
+                + cfg.board_resistance_ohm,
+                series_inductance_h=cfg.vr.output_inductance_h + cfg.board_inductance_h,
+                shunt_capacitance_f=board_bulk.capacitance_f,
+                shunt_esr_ohm=board_bulk.esr_ohm,
+            ),
+            LadderStage(
+                name="package",
+                series_resistance_ohm=cfg.effective_package_resistance_ohm(),
+                series_inductance_h=cfg.effective_package_inductance_h(),
+                shunt_capacitance_f=package_caps.capacitance_f,
+                shunt_esr_ohm=package_caps.esr_ohm,
+            ),
+            LadderStage(
+                name="die",
+                series_resistance_ohm=cfg.effective_die_path_resistance_ohm(),
+                series_inductance_h=cfg.effective_die_path_inductance_h(),
+                shunt_capacitance_f=die_caps.capacitance_f,
+                shunt_esr_ohm=die_caps.esr_ohm,
+            ),
+        ]
+
+    # -- DC properties --------------------------------------------------------------
+
+    def dc_resistance_ohm(self) -> float:
+        """Total DC supply-path resistance seen by one core.
+
+        This is the resistance that converts worst-case (power-virus) current
+        into the IR-drop portion of the voltage guardband.
+        """
+        cfg = self._configuration
+        return (
+            cfg.vr.loadline_ohm
+            + cfg.vr.output_resistance_ohm
+            + cfg.board_resistance_ohm
+            + cfg.effective_package_resistance_ohm()
+            + cfg.effective_die_path_resistance_ohm()
+        )
+
+    def dc_resistance_beyond_loadline_ohm(self) -> float:
+        """DC resistance downstream of the load-line (board + package + die).
+
+        The VR's load-line droop is already compensated by adaptive voltage
+        positioning, so only the resistance *behind* it needs an explicit IR
+        guardband in the firmware's budget.
+        """
+        cfg = self._configuration
+        return (
+            cfg.vr.output_resistance_ohm
+            + cfg.board_resistance_ohm
+            + cfg.effective_package_resistance_ohm()
+            + cfg.effective_die_path_resistance_ohm()
+        )

@@ -1,0 +1,203 @@
+"""A small netlist container with nodal-analysis matrix stamping.
+
+The PDN topologies in this library are built as netlists of two-terminal
+elements between named nodes.  Ground is the reserved node name ``"gnd"``.
+The netlist can produce its complex nodal admittance matrix at any angular
+frequency, which is everything the AC impedance analysis and the transient
+droop simulator need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, SimulationError
+
+GROUND = "gnd"
+
+
+class TwoTerminalElement(Protocol):
+    """Anything that can report a complex admittance at a frequency."""
+
+    def admittance(self, omega_rad_s: float) -> complex:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A two-terminal element connected between two named nodes."""
+
+    name: str
+    node_a: str
+    node_b: str
+    element: TwoTerminalElement
+
+
+@dataclass
+class Netlist:
+    """A collection of named nodes and branches with matrix stamping.
+
+    The netlist enforces that branch names are unique and that no branch
+    connects a node to itself.  Node indices are assigned in insertion order
+    which keeps matrix construction deterministic.
+    """
+
+    branches: List[Branch] = field(default_factory=list)
+    _node_index: Dict[str, int] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(
+        self, name: str, node_a: str, node_b: str, element: TwoTerminalElement
+    ) -> Branch:
+        """Add *element* between *node_a* and *node_b* and return the branch."""
+        if node_a == node_b:
+            raise ConfigurationError(
+                f"branch {name!r} connects node {node_a!r} to itself"
+            )
+        if any(branch.name == name for branch in self.branches):
+            raise ConfigurationError(f"duplicate branch name {name!r}")
+        branch = Branch(name=name, node_a=node_a, node_b=node_b, element=element)
+        self.branches.append(branch)
+        for node in (node_a, node_b):
+            if node != GROUND and node not in self._node_index:
+                self._node_index[node] = len(self._node_index)
+        return branch
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        """Non-ground node names in index order."""
+        return sorted(self._node_index, key=self._node_index.__getitem__)
+
+    def node_count(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_index)
+
+    def index_of(self, node: str) -> int:
+        """Matrix row/column index of *node*."""
+        if node == GROUND:
+            raise ConfigurationError("ground node has no matrix index")
+        try:
+            return self._node_index[node]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown node {node!r}") from exc
+
+    def has_node(self, node: str) -> bool:
+        """Return True if *node* appears in the netlist (ground always does)."""
+        return node == GROUND or node in self._node_index
+
+    def branches_at(self, node: str) -> List[Branch]:
+        """Return every branch touching *node*."""
+        return [b for b in self.branches if node in (b.node_a, b.node_b)]
+
+    # -- matrix stamping --------------------------------------------------------
+
+    def admittance_matrix(self, omega_rad_s: float) -> np.ndarray:
+        """Return the complex nodal admittance matrix Y(jw).
+
+        The matrix excludes the ground node (standard modified nodal analysis
+        for networks with only admittance branches).  ``Y[i, i]`` sums the
+        admittances of every branch touching node *i*; ``Y[i, j]`` holds the
+        negated admittance of branches between *i* and *j*.
+        """
+        size = self.node_count()
+        if size == 0:
+            raise SimulationError("netlist has no nodes")
+        matrix = np.zeros((size, size), dtype=complex)
+        for branch in self.branches:
+            admittance = branch.element.admittance(omega_rad_s)
+            a_grounded = branch.node_a == GROUND
+            b_grounded = branch.node_b == GROUND
+            if a_grounded and b_grounded:
+                continue
+            if not a_grounded:
+                i = self._node_index[branch.node_a]
+                matrix[i, i] += admittance
+            if not b_grounded:
+                j = self._node_index[branch.node_b]
+                matrix[j, j] += admittance
+            if not a_grounded and not b_grounded:
+                matrix[i, j] -= admittance
+                matrix[j, i] -= admittance
+        return matrix
+
+    def solve_node_voltages(
+        self, omega_rad_s: float, current_injections: Dict[str, complex]
+    ) -> Dict[str, complex]:
+        """Solve node voltages for a set of AC current injections.
+
+        Parameters
+        ----------
+        omega_rad_s:
+            Angular frequency of the excitation.
+        current_injections:
+            Mapping from node name to the phasor current injected *into* the
+            node (amperes).  Nodes not listed get zero injection.
+
+        Returns
+        -------
+        Mapping from every non-ground node name to its complex voltage.
+        """
+        size = self.node_count()
+        rhs = np.zeros(size, dtype=complex)
+        for node, current in current_injections.items():
+            if node == GROUND:
+                continue
+            rhs[self.index_of(node)] = current
+        matrix = self.admittance_matrix(omega_rad_s)
+        try:
+            solution = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(
+                "PDN admittance matrix is singular; a node is probably floating "
+                f"at omega={omega_rad_s:.3g} rad/s"
+            ) from exc
+        return {node: solution[self._node_index[node]] for node in self._node_index}
+
+    def dc_path_resistance(self, node_from: str, node_to: str) -> float:
+        """Effective DC resistance between two nodes.
+
+        Computed by injecting 1 A at *node_from*, extracting it at *node_to*,
+        and reading the voltage difference.  Capacitors are open at DC, so
+        the value reflects only the resistive/inductive path.  When *node_to*
+        is ground the extraction current is implicit.
+        """
+        injections: Dict[str, complex] = {node_from: 1.0}
+        if node_to != GROUND:
+            injections[node_to] = injections.get(node_to, 0.0) - 1.0
+        voltages = self.solve_node_voltages(0.0, injections)
+        v_from = voltages[node_from].real
+        v_to = 0.0 if node_to == GROUND else voltages[node_to].real
+        return v_from - v_to
+
+    # -- convenience ------------------------------------------------------------
+
+    def summary(self) -> List[Tuple[str, str, str, str]]:
+        """Return (branch, node_a, node_b, element-class) rows for reporting."""
+        return [
+            (b.name, b.node_a, b.node_b, type(b.element).__name__)
+            for b in self.branches
+        ]
+
+    def merge_nodes(self, keep: str, remove: Sequence[str]) -> "Netlist":
+        """Return a new netlist with every node in *remove* renamed to *keep*.
+
+        This is how the desktop (Skylake-S) package "shorts" the gated and
+        ungated voltage domains: the per-core domain nodes collapse into the
+        shared ungated node.  Branches that end up connecting *keep* to
+        itself (for example the power-gate branches themselves) are dropped.
+        """
+        removed = set(remove)
+        merged = Netlist()
+        for branch in self.branches:
+            node_a = keep if branch.node_a in removed else branch.node_a
+            node_b = keep if branch.node_b in removed else branch.node_b
+            if node_a == node_b:
+                continue
+            merged.add(branch.name, node_a, node_b, branch.element)
+        return merged

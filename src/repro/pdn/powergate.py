@@ -1,0 +1,112 @@
+"""Electrical and area model of a CPU-core power-gate.
+
+A power-gate is a bank of wide, low-leakage sleep transistors between the
+shared (ungated) supply rail and a core's local rail (paper Section 2.1,
+"Power Gating").  The model captures the three properties the paper reasons
+about:
+
+* **On-resistance** — the gate adds series resistance to the core's supply
+  path, increasing IR drop and PDN impedance (Fig. 4).  On-resistance falls
+  as the gate is made wider.
+* **Area** — a low-impedance gate for a whole CPU core costs more than 5 %
+  of core area (paper Section 1 and references [4-9]).
+* **Leakage reduction and wake-up latency** — when the gate is off, the core
+  leaks only a small residual; waking it uses a staggered turn-on that takes
+  tens of nanoseconds (paper Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import ensure_in_range, ensure_positive
+from repro.pdn.elements import Resistor
+
+#: On-resistance x area figure of merit for the sleep-transistor bank,
+#: expressed as (milliohm * mm^2).  Chosen so that a gate sized at ~5 % of an
+#: ~8.5 mm^2 Skylake core area lands in the few-hundred-microohm range the
+#: impedance model needs.
+_RON_AREA_FOM_MOHM_MM2 = 0.17
+
+#: Fraction of the gated circuit's leakage that still flows when the gate is
+#: off (sub-threshold leakage of the sleep transistors themselves).
+_RESIDUAL_LEAKAGE_FRACTION = 0.02
+
+
+@dataclass(frozen=True)
+class PowerGate:
+    """A power-gate sized for one CPU core.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"core0_pg"``.
+    on_resistance_ohm:
+        Series resistance of the gate when on.
+    area_mm2:
+        Silicon area consumed by the sleep-transistor bank.
+    wakeup_latency_s:
+        Staggered wake-up latency (paper quotes 10-20 ns typical).
+    residual_leakage_fraction:
+        Fraction of the gated circuit's leakage that remains when off.
+    """
+
+    name: str
+    on_resistance_ohm: float
+    area_mm2: float
+    wakeup_latency_s: float = 15e-9
+    residual_leakage_fraction: float = _RESIDUAL_LEAKAGE_FRACTION
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.on_resistance_ohm, "on_resistance_ohm")
+        ensure_positive(self.area_mm2, "area_mm2")
+        ensure_positive(self.wakeup_latency_s, "wakeup_latency_s")
+        ensure_in_range(
+            self.residual_leakage_fraction, 0.0, 1.0, "residual_leakage_fraction"
+        )
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def sized_for_core(
+        cls,
+        name: str,
+        core_area_mm2: float,
+        area_overhead_fraction: float = 0.05,
+        wakeup_latency_s: float = 15e-9,
+    ) -> "PowerGate":
+        """Build a gate sized as a fraction of the target core's area.
+
+        The paper notes that a low-impedance core-level gate can exceed 5 %
+        of the chip's area; this constructor captures the area/impedance
+        trade-off: doubling the area halves the on-resistance.
+        """
+        ensure_positive(core_area_mm2, "core_area_mm2")
+        ensure_in_range(area_overhead_fraction, 0.005, 0.5, "area_overhead_fraction")
+        gate_area = core_area_mm2 * area_overhead_fraction
+        on_resistance = (_RON_AREA_FOM_MOHM_MM2 / gate_area) * 1e-3
+        return cls(
+            name=name,
+            on_resistance_ohm=on_resistance,
+            area_mm2=gate_area,
+            wakeup_latency_s=wakeup_latency_s,
+        )
+
+    # -- electrical behaviour ------------------------------------------------------
+
+    def as_branch_element(self) -> Resistor:
+        """The gate in its *on* state, as a netlist resistor."""
+        return Resistor(resistance_ohm=self.on_resistance_ohm)
+
+    def ir_drop_v(self, current_a: float) -> float:
+        """IR drop across the (on) gate at *current_a*."""
+        return self.on_resistance_ohm * current_a
+
+    def leakage_when_gated_w(self, ungated_leakage_w: float) -> float:
+        """Leakage power of the gated circuit when the gate is off."""
+        return ungated_leakage_w * self.residual_leakage_fraction
+
+    def area_overhead_fraction(self, core_area_mm2: float) -> float:
+        """Gate area as a fraction of the core it protects."""
+        ensure_positive(core_area_mm2, "core_area_mm2")
+        return self.area_mm2 / core_area_mm2

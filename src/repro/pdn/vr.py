@@ -1,0 +1,103 @@
+"""Motherboard voltage-regulator (MBVR) model.
+
+The Skylake-S/H parts modelled in this library use a motherboard voltage
+regulator shared by all CPU cores (paper Section 2.3).  For PDN analysis the
+VR is an ideal voltage source behind an output impedance; for the firmware
+model it is the component that accepts SVID voltage requests, enforces the
+electrical limits (TDC/EDC), and implements the load-line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConstraintViolation
+from repro.common.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class VoltageRegulator:
+    """A motherboard CPU-core voltage regulator.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    loadline_ohm:
+        Load-line (adaptive voltage positioning) resistance.  Recent client
+        parts use 1.6 mOhm – 2.4 mOhm (paper Section 2.3).
+    output_inductance_h:
+        Effective output inductance of the VR plus its bulk filter, seen by
+        the processor socket.
+    output_resistance_ohm:
+        Parasitic output resistance of the VR power stage and board plane,
+        *excluding* the load-line (the load-line is a control behaviour, not
+        a physical resistor, but it has the same V/I signature).
+    tdc_a:
+        Thermal design current — sustained current limit (paper Sec. 2.4.2).
+    edc_a:
+        Electrical design current (Iccmax / PL4) — instantaneous current
+        limit (paper Sec. 2.4.2).
+    vmax_v:
+        Maximum voltage the VR will serve, matching the processor Vmax.
+    min_voltage_v:
+        Lowest programmable output voltage.
+    """
+
+    name: str
+    loadline_ohm: float
+    output_inductance_h: float = 150e-12
+    output_resistance_ohm: float = 0.2e-3
+    tdc_a: float = 100.0
+    edc_a: float = 140.0
+    vmax_v: float = 1.52
+    min_voltage_v: float = 0.55
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.loadline_ohm, "loadline_ohm")
+        ensure_positive(self.output_inductance_h, "output_inductance_h")
+        ensure_non_negative(self.output_resistance_ohm, "output_resistance_ohm")
+        ensure_positive(self.tdc_a, "tdc_a")
+        ensure_positive(self.edc_a, "edc_a")
+        ensure_positive(self.vmax_v, "vmax_v")
+        ensure_positive(self.min_voltage_v, "min_voltage_v")
+
+    # -- load-line behaviour ----------------------------------------------------
+
+    def output_voltage(self, setpoint_v: float, current_a: float) -> float:
+        """Voltage at the VR output for a given setpoint and load current.
+
+        The VR positions its output *setpoint_v* at zero current and lets it
+        droop along the load-line as current increases:
+        ``Vout = Vset - R_LL * Icc`` (paper Fig. 2(b)).
+        """
+        self.check_current(current_a)
+        return setpoint_v - self.loadline_ohm * current_a
+
+    def required_setpoint(self, load_voltage_v: float, current_a: float) -> float:
+        """Setpoint needed so the load sees *load_voltage_v* at *current_a*."""
+        return load_voltage_v + self.loadline_ohm * current_a
+
+    # -- limit enforcement --------------------------------------------------------
+
+    def check_current(self, current_a: float) -> float:
+        """Validate an instantaneous current draw against the EDC limit."""
+        ensure_non_negative(current_a, "current_a")
+        if current_a > self.edc_a:
+            raise ConstraintViolation("EDC (Iccmax)", current_a, self.edc_a)
+        return current_a
+
+    def check_sustained_current(self, current_a: float) -> float:
+        """Validate a sustained current draw against the TDC limit."""
+        ensure_non_negative(current_a, "current_a")
+        if current_a > self.tdc_a:
+            raise ConstraintViolation("TDC", current_a, self.tdc_a)
+        return current_a
+
+    def clamp_setpoint(self, setpoint_v: float) -> float:
+        """Clamp a requested setpoint into the programmable range."""
+        return min(self.vmax_v, max(self.min_voltage_v, setpoint_v))
+
+    def is_setpoint_allowed(self, setpoint_v: float) -> bool:
+        """True when the requested setpoint is within the programmable range."""
+        return self.min_voltage_v <= setpoint_v <= self.vmax_v

@@ -1,0 +1,255 @@
+"""DVFS (P-state) resolution.
+
+The DVFS firmware picks the highest selectable CPU frequency that satisfies
+every platform limit for the current demand:
+
+* **Vmax** — nominal voltage plus guardband must not exceed the reliability
+  voltage limit (this is what makes high-TDP systems "Fmax-constrained").
+* **TDP**  — sustained package power must fit the thermal design power
+  (this is what limits low-TDP systems).
+* **Iccmax (EDC)** — worst-case instantaneous current must stay within the
+  VR's electrical design current.
+
+The resolution walks the 100 MHz frequency grid downwards, which reproduces
+the granularity effects the paper calls out in Section 3 and Section 7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_in_range
+from repro.pmu.vf_curve import VfCurve
+from repro.soc.processor import Processor
+
+
+class LimitingFactor(Enum):
+    """Which limit stopped the frequency search."""
+
+    VMAX = "vmax"
+    TDP = "tdp"
+    ICCMAX = "iccmax"
+    FREQUENCY_GRID = "frequency_grid"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class CpuDemand:
+    """What the running workload asks of the CPU cores.
+
+    Parameters
+    ----------
+    active_cores:
+        Number of cores executing instructions.
+    activity:
+        Cdyn fraction of the running code (1.0 == power-virus).
+    memory_intensity:
+        0..1 memory-traffic intensity; raises uncore power.
+    graphics_active:
+        True when the graphics engine is rendering concurrently (its power
+        is then accounted by the PBM, not here).
+    """
+
+    active_cores: int
+    activity: float = 0.62
+    memory_intensity: float = 0.2
+    graphics_active: bool = False
+
+    def __post_init__(self) -> None:
+        if self.active_cores < 1:
+            raise ConfigurationError("active_cores must be >= 1")
+        ensure_in_range(self.activity, 0.0, 1.0, "activity")
+        ensure_in_range(self.memory_intensity, 0.0, 1.0, "memory_intensity")
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A resolved CPU operating point."""
+
+    frequency_hz: float
+    voltage_v: float
+    package_power_w: float
+    cores_power_w: float
+    idle_cores_power_w: float
+    uncore_power_w: float
+    limiting_factor: LimitingFactor
+    junction_temperature_c: float
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Operating frequency in GHz."""
+        return self.frequency_hz / 1e9
+
+
+class DvfsPolicy:
+    """Resolves CPU operating points for a processor and V/F curve.
+
+    Parameters
+    ----------
+    processor:
+        The hardware configuration (die, package, TDP).
+    vf_curve:
+        Guardbanded V/F curve of the part's power-delivery configuration.
+    bypass_mode:
+        True when the firmware runs in bypass mode (idle cores cannot be
+        power-gated and keep leaking at the shared rail voltage).
+    graphics_idle_power_w:
+        Power attributed to the (idle) graphics engine during CPU workloads.
+    thermal_iterations:
+        Fixed-point iterations of the power/temperature loop.
+    """
+
+    def __init__(
+        self,
+        processor: Processor,
+        vf_curve: VfCurve,
+        bypass_mode: bool,
+        graphics_idle_power_w: float = 0.05,
+        thermal_iterations: int = 3,
+    ) -> None:
+        if thermal_iterations < 1:
+            raise ConfigurationError("thermal_iterations must be >= 1")
+        self._processor = processor
+        self._vf_curve = vf_curve
+        self._bypass_mode = bypass_mode
+        self._graphics_idle_power_w = graphics_idle_power_w
+        self._thermal_iterations = thermal_iterations
+        self._thermal_model = processor.thermal_model()
+
+    # -- public API -----------------------------------------------------------------------
+
+    @property
+    def vf_curve(self) -> VfCurve:
+        """The V/F curve this policy resolves against."""
+        return self._vf_curve
+
+    def resolve(self, demand: CpuDemand) -> OperatingPoint:
+        """Highest-performance operating point satisfying every limit."""
+        if demand.active_cores > self._processor.core_count:
+            raise ConfigurationError(
+                f"demand asks for {demand.active_cores} cores but the processor "
+                f"has {self._processor.core_count}"
+            )
+        grid = self._vf_curve.frequency_grid
+        chosen: Optional[OperatingPoint] = None
+        limiting = LimitingFactor.FREQUENCY_GRID
+        for frequency in grid.descending():
+            verdict, point = self._evaluate(frequency, demand)
+            if verdict is LimitingFactor.NONE:
+                chosen = point
+                break
+            limiting = verdict
+        if chosen is None:
+            # Even the lowest bin violates a limit; report the lowest bin with
+            # the limit that failed (real firmware would throttle below Pn,
+            # but the evaluation never reaches that regime).
+            _, point = self._evaluate(grid.min_hz, demand)
+            return OperatingPoint(
+                frequency_hz=point.frequency_hz,
+                voltage_v=point.voltage_v,
+                package_power_w=point.package_power_w,
+                cores_power_w=point.cores_power_w,
+                idle_cores_power_w=point.idle_cores_power_w,
+                uncore_power_w=point.uncore_power_w,
+                limiting_factor=limiting,
+                junction_temperature_c=point.junction_temperature_c,
+            )
+        # Identify what stops the next bin up (more informative than NONE).
+        if chosen.frequency_hz >= grid.max_hz:
+            limiting = LimitingFactor.FREQUENCY_GRID
+        else:
+            next_frequency = grid.step_up(chosen.frequency_hz)
+            verdict, _ = self._evaluate(next_frequency, demand)
+            limiting = verdict if verdict is not LimitingFactor.NONE else LimitingFactor.NONE
+        return OperatingPoint(
+            frequency_hz=chosen.frequency_hz,
+            voltage_v=chosen.voltage_v,
+            package_power_w=chosen.package_power_w,
+            cores_power_w=chosen.cores_power_w,
+            idle_cores_power_w=chosen.idle_cores_power_w,
+            uncore_power_w=chosen.uncore_power_w,
+            limiting_factor=limiting,
+            junction_temperature_c=chosen.junction_temperature_c,
+        )
+
+    def package_power_w(self, frequency_hz: float, demand: CpuDemand) -> float:
+        """Sustained package power at a specific frequency for *demand*."""
+        _, point = self._evaluate(frequency_hz, demand, enforce_limits=False)
+        return point.package_power_w
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _evaluate(
+        self, frequency_hz: float, demand: CpuDemand, enforce_limits: bool = True
+    ) -> tuple[LimitingFactor, OperatingPoint]:
+        # The VR is programmed to the fully-guardbanded voltage (checked
+        # against Vmax below); the power estimate uses the effective silicon
+        # voltage for a typical workload.
+        vr_voltage = self._vf_curve.required_voltage_v(frequency_hz, demand.active_cores)
+        voltage = self._vf_curve.power_voltage_v(frequency_hz, demand.active_cores)
+        temperature = 60.0
+        cores_power = idle_power = uncore_power = package_power = 0.0
+        for _ in range(self._thermal_iterations):
+            cores_power = self._active_cores_power_w(
+                frequency_hz, voltage, demand, temperature
+            )
+            idle_power = self._idle_cores_power_w(voltage, demand, temperature)
+            uncore_power = self._processor.die.uncore.package_c0_power_w(
+                demand.memory_intensity
+            )
+            package_power = (
+                cores_power + idle_power + uncore_power + self._graphics_idle_power_w
+            )
+            temperature = min(
+                self._processor.tjmax_c,
+                self._thermal_model.junction_temperature_c(package_power),
+            )
+        point = OperatingPoint(
+            frequency_hz=frequency_hz,
+            voltage_v=vr_voltage,
+            package_power_w=package_power,
+            cores_power_w=cores_power,
+            idle_cores_power_w=idle_power,
+            uncore_power_w=uncore_power,
+            limiting_factor=LimitingFactor.NONE,
+            junction_temperature_c=temperature,
+        )
+        if not enforce_limits:
+            return LimitingFactor.NONE, point
+        if vr_voltage > self._vf_curve.vmax_v + 1e-9:
+            return LimitingFactor.VMAX, point
+        if package_power > self._processor.tdp_w + 1e-9:
+            return LimitingFactor.TDP, point
+        if self._virus_current_a(frequency_hz, vr_voltage, demand) > self._processor.die.iccmax_a:
+            return LimitingFactor.ICCMAX, point
+        return LimitingFactor.NONE, point
+
+    def _active_cores_power_w(
+        self, frequency_hz: float, voltage_v: float, demand: CpuDemand, temperature_c: float
+    ) -> float:
+        total = 0.0
+        for core in self._processor.die.cores[: demand.active_cores]:
+            total += core.active_power_w(
+                frequency_hz, voltage_v, demand.activity, temperature_c
+            )
+        return total
+
+    def _idle_cores_power_w(
+        self, voltage_v: float, demand: CpuDemand, temperature_c: float
+    ) -> float:
+        idle_cores = self._processor.die.cores[demand.active_cores :]
+        gated = not self._bypass_mode
+        return sum(
+            core.idle_power_w(voltage_v, gated=gated, temperature_c=temperature_c)
+            for core in idle_cores
+        )
+
+    def _virus_current_a(
+        self, frequency_hz: float, voltage_v: float, demand: CpuDemand
+    ) -> float:
+        per_core = self._processor.die.cores[0].virus_current_a(frequency_hz, voltage_v)
+        uncore_current = 6.0  # uncore + graphics floor on the core rail's EDC budget
+        return per_core * demand.active_cores + uncore_current

@@ -1,0 +1,99 @@
+"""Silicon fuse configuration read by the firmware at reset.
+
+DarkGates' firmware selects its operating mode from a fuse (paper
+Section 5): desktop parts are fused for *bypass mode* (use the improved V/F
+curves, account for idle-core leakage, enable package C8), mobile parts for
+*normal mode* (use the power-gates).  The fuse set also records the deepest
+package C-state the platform supports, which is how the paper distinguishes
+legacy desktops (C7), DarkGates desktops (C8), and mobiles (C10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import ConfigurationError
+
+#: Approximate size of the additional firmware code for the DarkGates flows
+#: (paper Section 5: ~0.3 KB).
+DARKGATES_FIRMWARE_BYTES = 300
+
+#: Die area occupied by one byte of Pcode ROM/patch RAM, chosen so that the
+#: paper's statement holds: 0.3 KB of extra firmware stays below 0.004 % of
+#: the ~122 mm^2 Skylake die area.
+FIRMWARE_BYTE_AREA_MM2 = 122.0 * 0.00003 / DARKGATES_FIRMWARE_BYTES
+
+
+class PowerDeliveryMode(Enum):
+    """Firmware power-delivery operating mode (paper Section 4.2/5)."""
+
+    NORMAL = "normal"  # power-gates used to cut idle-core leakage
+    BYPASS = "bypass"  # power-gates bypassed for better V/F curves
+
+
+@dataclass(frozen=True)
+class FuseSet:
+    """Fuses the Pcode reads at reset.
+
+    Parameters
+    ----------
+    power_delivery_mode:
+        Bypass (desktop/DarkGates) or normal (mobile/baseline).
+    deepest_package_cstate:
+        Deepest package C-state the platform is validated for ("C7", "C8",
+        or "C10").
+    segment:
+        Market segment string, informational only.
+    """
+
+    power_delivery_mode: PowerDeliveryMode
+    deepest_package_cstate: str = "C7"
+    segment: str = "desktop"
+
+    _VALID_DEEPEST = ("C2", "C3", "C6", "C7", "C8", "C9", "C10")
+
+    def __post_init__(self) -> None:
+        if self.deepest_package_cstate.upper() not in self._VALID_DEEPEST:
+            raise ConfigurationError(
+                f"unsupported deepest package C-state {self.deepest_package_cstate!r}"
+            )
+
+    @property
+    def bypass_enabled(self) -> bool:
+        """True when this part is fused for bypass mode."""
+        return self.power_delivery_mode is PowerDeliveryMode.BYPASS
+
+    @classmethod
+    def darkgates_desktop(cls) -> "FuseSet":
+        """Fuses of a DarkGates desktop part: bypass mode, package C8."""
+        return cls(
+            power_delivery_mode=PowerDeliveryMode.BYPASS,
+            deepest_package_cstate="C8",
+            segment="desktop",
+        )
+
+    @classmethod
+    def legacy_desktop(cls) -> "FuseSet":
+        """Fuses of a pre-DarkGates desktop: normal mode, package C7."""
+        return cls(
+            power_delivery_mode=PowerDeliveryMode.NORMAL,
+            deepest_package_cstate="C7",
+            segment="desktop",
+        )
+
+    @classmethod
+    def mobile(cls) -> "FuseSet":
+        """Fuses of a mobile part: normal mode, package C10."""
+        return cls(
+            power_delivery_mode=PowerDeliveryMode.NORMAL,
+            deepest_package_cstate="C10",
+            segment="mobile",
+        )
+
+
+def firmware_area_overhead_fraction(die_area_mm2: float) -> float:
+    """Die-area fraction of the extra DarkGates firmware (paper: <0.004 %)."""
+    if die_area_mm2 <= 0:
+        raise ConfigurationError("die_area_mm2 must be positive")
+    return DARKGATES_FIRMWARE_BYTES * FIRMWARE_BYTE_AREA_MM2 / die_area_mm2

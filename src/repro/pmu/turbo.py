@@ -1,0 +1,78 @@
+"""Multi-core turbo tables.
+
+Intel client parts publish a "turbo table": the maximum frequency the cores
+may reach as a function of how many of them are active.  In this library the
+table is derived from the guardbanded V/F curve — more active cores means a
+higher power-virus level, a larger guardband, and therefore a lower
+Vmax-limited frequency.  The DVFS policy applies TDP/Iccmax on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.pmu.vf_curve import VfCurve
+
+
+@dataclass(frozen=True)
+class TurboTable:
+    """Maximum (Vmax-limited) frequency per active-core count."""
+
+    max_frequency_by_active_cores: Dict[int, float]
+
+    def __post_init__(self) -> None:
+        if not self.max_frequency_by_active_cores:
+            raise ConfigurationError("turbo table must not be empty")
+        counts = sorted(self.max_frequency_by_active_cores)
+        if counts[0] < 1:
+            raise ConfigurationError("active-core counts must start at 1")
+        previous = float("inf")
+        for count in counts:
+            frequency = self.max_frequency_by_active_cores[count]
+            if frequency > previous + 1e-6:
+                raise ConfigurationError(
+                    "turbo frequency must not increase with more active cores"
+                )
+            previous = frequency
+
+    # -- queries -----------------------------------------------------------------------
+
+    def max_frequency_hz(self, active_cores: int) -> float:
+        """Turbo ceiling for *active_cores* active cores."""
+        counts = sorted(self.max_frequency_by_active_cores)
+        if active_cores < 1:
+            raise ConfigurationError("active_cores must be >= 1")
+        eligible = [c for c in counts if c >= active_cores]
+        key = eligible[0] if eligible else counts[-1]
+        return self.max_frequency_by_active_cores[key]
+
+    def single_core_turbo_hz(self) -> float:
+        """The 1-core turbo ceiling."""
+        return self.max_frequency_hz(1)
+
+    def all_core_turbo_hz(self) -> float:
+        """The all-core turbo ceiling."""
+        return self.max_frequency_by_active_cores[max(self.max_frequency_by_active_cores)]
+
+    def rows(self) -> List[tuple[int, float]]:
+        """(active cores, max frequency) rows for reporting."""
+        return sorted(self.max_frequency_by_active_cores.items())
+
+    # -- construction ---------------------------------------------------------------------
+
+    @classmethod
+    def from_vf_curve(cls, vf_curve: VfCurve, core_count: int) -> "TurboTable":
+        """Derive the turbo table from a guardbanded V/F curve."""
+        if core_count < 1:
+            raise ConfigurationError("core_count must be >= 1")
+        table = {
+            active: vf_curve.fmax_hz(active) for active in range(1, core_count + 1)
+        }
+        # Enforce monotonicity against guardband-model noise.
+        best = float("inf")
+        for active in sorted(table):
+            best = min(best, table[active])
+            table[active] = best
+        return cls(max_frequency_by_active_cores=table)

@@ -1,0 +1,166 @@
+"""Guardbanded voltage/frequency curves.
+
+The silicon's nominal V/F requirement (:class:`SiliconVfCharacter`) is what
+the transistors need; what the VR must actually be programmed to is that
+nominal voltage *plus* the voltage guardband of the current power-delivery
+configuration and power-virus level.  Because the total may not exceed the
+reliability limit Vmax, the guardband directly determines the maximum
+attainable frequency Fmax — the central mechanism of the paper.
+
+DarkGates improves the V/F curve (Section 4.1/4.2) by halving the
+PDN-dependent part of the guardband, which both raises Fmax and lowers the
+voltage needed at any given frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.grid import FrequencyGrid
+from repro.pdn.guardband import GuardbandModel
+from repro.pdn.loadline import PowerVirusLevel, VirusLevelTable
+from repro.soc.die import SiliconVfCharacter
+
+
+@dataclass(frozen=True)
+class VfPoint:
+    """One resolved point of a guardbanded V/F curve."""
+
+    frequency_hz: float
+    nominal_voltage_v: float
+    guardband_v: float
+
+    @property
+    def required_voltage_v(self) -> float:
+        """Voltage the VR must deliver for this frequency."""
+        return self.nominal_voltage_v + self.guardband_v
+
+
+class VfCurve:
+    """A guardbanded V/F curve for one PDN configuration.
+
+    Parameters
+    ----------
+    silicon:
+        Nominal V/F characteristic of the die.
+    guardband_model:
+        Guardband model of the part's power-delivery configuration (gated or
+        bypassed).
+    virus_table:
+        Power-virus levels used to size the guardband per active-core count.
+    frequency_grid:
+        Selectable core frequencies.
+    vmax_v:
+        Maximum operational voltage of the part.
+    guardband_power_coupling:
+        Fraction of the guardband that shows up as *excess voltage at the
+        silicon* for a typical (non-virus) workload, and therefore as extra
+        switching/leakage power.  The remainder of the guardband is consumed
+        by real voltage drop along the delivery path and dissipated there
+        instead.  1.0 would treat the whole guardband as excess voltage
+        (overestimating the power cost of guardbands); 0.0 would ignore the
+        power benefit of guardband reduction entirely.
+    """
+
+    def __init__(
+        self,
+        silicon: SiliconVfCharacter,
+        guardband_model: GuardbandModel,
+        virus_table: VirusLevelTable,
+        frequency_grid: FrequencyGrid,
+        vmax_v: float,
+        guardband_power_coupling: float = 0.75,
+    ) -> None:
+        if vmax_v <= 0:
+            raise ConfigurationError("vmax_v must be positive")
+        if not 0.0 <= guardband_power_coupling <= 1.0:
+            raise ConfigurationError("guardband_power_coupling must be in [0, 1]")
+        self._silicon = silicon
+        self._guardband_model = guardband_model
+        self._virus_table = virus_table
+        self._frequency_grid = frequency_grid
+        self._vmax_v = vmax_v
+        self._guardband_power_coupling = guardband_power_coupling
+        self._guardband_cache: dict[str, float] = {}
+
+    # -- basic lookups -----------------------------------------------------------------
+
+    @property
+    def vmax_v(self) -> float:
+        """Maximum operational voltage used for Fmax resolution."""
+        return self._vmax_v
+
+    @property
+    def frequency_grid(self) -> FrequencyGrid:
+        """Frequency grid this curve is resolved on."""
+        return self._frequency_grid
+
+    @property
+    def guardband_model(self) -> GuardbandModel:
+        """The guardband model backing this curve."""
+        return self._guardband_model
+
+    def virus_level_for(self, active_cores: int) -> PowerVirusLevel:
+        """Virus level covering *active_cores* active cores."""
+        return self._virus_table.level_for_active_cores(active_cores)
+
+    def guardband_v(self, active_cores: int) -> float:
+        """Total guardband applied for *active_cores* active cores (cached)."""
+        level = self.virus_level_for(active_cores)
+        if level.name not in self._guardband_cache:
+            self._guardband_cache[level.name] = self._guardband_model.total_guardband_v(level)
+        return self._guardband_cache[level.name]
+
+    # -- curve evaluation ---------------------------------------------------------------
+
+    def point(self, frequency_hz: float, active_cores: int) -> VfPoint:
+        """Resolve the curve at one frequency for a given active-core count."""
+        return VfPoint(
+            frequency_hz=frequency_hz,
+            nominal_voltage_v=self._silicon.nominal_voltage_v(frequency_hz),
+            guardband_v=self.guardband_v(active_cores),
+        )
+
+    def required_voltage_v(self, frequency_hz: float, active_cores: int) -> float:
+        """Voltage the VR must deliver to run *active_cores* at *frequency_hz*."""
+        return self.point(frequency_hz, active_cores).required_voltage_v
+
+    def power_voltage_v(self, frequency_hz: float, active_cores: int) -> float:
+        """Effective silicon voltage used for power estimation.
+
+        A typical workload does not pull the full virus current, so the
+        silicon sees the nominal voltage plus only part of the guardband
+        (``guardband_power_coupling``); the rest of the guardband is consumed
+        by genuine IR/droop along the delivery path.
+        """
+        point = self.point(frequency_hz, active_cores)
+        return (
+            point.nominal_voltage_v
+            + self._guardband_power_coupling * point.guardband_v
+        )
+
+    def fmax_hz(self, active_cores: int, vmax_v: Optional[float] = None) -> float:
+        """Maximum attainable frequency for *active_cores* active cores.
+
+        This is the Vmax-limited Fmax of Section 2.4.2: the largest grid
+        frequency whose nominal voltage plus guardband stays at or below the
+        reliability limit.  The TDP and Iccmax limits are applied separately
+        by the DVFS policy.
+        """
+        limit = self._vmax_v if vmax_v is None else vmax_v
+        guardband = self.guardband_v(active_cores)
+        headroom = limit - guardband
+        if headroom <= 0:
+            return self._frequency_grid.min_hz
+        unconstrained = self._silicon.max_frequency_for_voltage(headroom)
+        return self._frequency_grid.floor(unconstrained)
+
+    def headroom_v(self, frequency_hz: float, active_cores: int) -> float:
+        """Voltage headroom below Vmax at an operating point (can be negative)."""
+        return self._vmax_v - self.required_voltage_v(frequency_hz, active_cores)
+
+    def curve_points(self, active_cores: int) -> list[VfPoint]:
+        """The full guardbanded curve across the frequency grid."""
+        return [self.point(f, active_cores) for f in self._frequency_grid]

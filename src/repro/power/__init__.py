@@ -1,0 +1,33 @@
+"""Power and thermal modelling substrate.
+
+This package provides the component power models the rest of the library is
+built on:
+
+* :mod:`repro.power.dynamic` — switching (dynamic) power from effective
+  dynamic capacitance, voltage and frequency.
+* :mod:`repro.power.leakage` — leakage power with voltage and temperature
+  dependence, plus the effect of power-gating.
+* :mod:`repro.power.cdyn` — per-activity dynamic-capacitance descriptors and
+  power-virus levels.
+* :mod:`repro.power.thermal` — a lumped thermal model linking package power
+  to junction temperature, and the TDP/Tjmax design limits.
+* :mod:`repro.power.budget` — bookkeeping of a shared power budget between
+  SoC domains (CPU cores vs. graphics), used by the PBM firmware model.
+"""
+
+from repro.power.budget import DomainPower, PowerBudget
+from repro.power.cdyn import ActivityCdyn, CdynTable
+from repro.power.dynamic import DynamicPowerModel
+from repro.power.leakage import LeakagePowerModel
+from repro.power.thermal import ThermalLimits, ThermalModel
+
+__all__ = [
+    "DomainPower",
+    "PowerBudget",
+    "ActivityCdyn",
+    "CdynTable",
+    "DynamicPowerModel",
+    "LeakagePowerModel",
+    "ThermalLimits",
+    "ThermalModel",
+]

@@ -1,0 +1,98 @@
+"""Shared power-budget bookkeeping.
+
+The SoC's compute domain (CPU cores plus graphics engine) shares one power
+budget, distributed at runtime by the power-budget-management (PBM)
+algorithm of the PMU (paper Section 2.1).  This module provides the simple
+accounting objects PBM operates on; the allocation *policy* lives in
+:mod:`repro.pmu.pbm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError, ConstraintViolation
+from repro.common.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class DomainPower:
+    """Power attributed to one SoC domain."""
+
+    domain: str
+    dynamic_w: float
+    leakage_w: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.dynamic_w, "dynamic_w")
+        ensure_non_negative(self.leakage_w, "leakage_w")
+
+    @property
+    def total_w(self) -> float:
+        """Total (dynamic plus leakage) power of the domain."""
+        return self.dynamic_w + self.leakage_w
+
+
+@dataclass
+class PowerBudget:
+    """A fixed total budget being split across named domains.
+
+    Parameters
+    ----------
+    total_w:
+        The budget ceiling (normally the configuration's TDP).
+    """
+
+    total_w: float
+    allocations: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.total_w, "total_w")
+
+    # -- allocation ----------------------------------------------------------------
+
+    def allocate(self, domain: str, power_w: float) -> None:
+        """Reserve *power_w* of the budget for *domain*.
+
+        Raises :class:`~repro.common.errors.ConstraintViolation` when the
+        reservation would exceed the total budget.
+        """
+        ensure_non_negative(power_w, "power_w")
+        if domain in self.allocations:
+            raise ConfigurationError(f"domain {domain!r} already allocated")
+        if self.allocated_w() + power_w > self.total_w + 1e-9:
+            raise ConstraintViolation(
+                "power budget", self.allocated_w() + power_w, self.total_w
+            )
+        self.allocations[domain] = power_w
+
+    def allocate_remainder(self, domain: str) -> float:
+        """Give *domain* whatever budget is left and return that amount."""
+        remainder = self.remaining_w()
+        if domain in self.allocations:
+            raise ConfigurationError(f"domain {domain!r} already allocated")
+        self.allocations[domain] = remainder
+        return remainder
+
+    # -- queries -------------------------------------------------------------------
+
+    def allocated_w(self) -> float:
+        """Total power already reserved."""
+        return sum(self.allocations.values())
+
+    def remaining_w(self) -> float:
+        """Budget not yet reserved (never negative)."""
+        return max(0.0, self.total_w - self.allocated_w())
+
+    def allocation_for(self, domain: str) -> float:
+        """Budget reserved for *domain* (zero if none)."""
+        return self.allocations.get(domain, 0.0)
+
+    def domains(self) -> List[str]:
+        """Domains that currently hold an allocation."""
+        return list(self.allocations)
+
+    def utilisation(self) -> float:
+        """Fraction of the total budget that has been reserved."""
+        return self.allocated_w() / self.total_w

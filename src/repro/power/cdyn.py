@@ -1,0 +1,74 @@
+"""Dynamic-capacitance (Cdyn) descriptors for workload activity levels.
+
+The adaptive-guardband scheme of Fig. 2(c) defines power-virus levels in
+terms of the maximum dynamic capacitance a system state can draw.  Ordinary
+workloads draw a fraction of that maximum.  This module provides a small
+table type that maps named activity classes (idle, typical integer code,
+AVX-heavy code, power-virus) to Cdyn fractions, so workloads and the PMU
+share one vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_in_range
+
+
+@dataclass(frozen=True)
+class ActivityCdyn:
+    """A named activity level expressed as a fraction of the virus Cdyn."""
+
+    name: str
+    cdyn_fraction: float
+
+    def __post_init__(self) -> None:
+        ensure_in_range(self.cdyn_fraction, 0.0, 1.0, "cdyn_fraction")
+
+
+@dataclass
+class CdynTable:
+    """A registry of activity levels keyed by name."""
+
+    levels: Dict[str, ActivityCdyn] = field(default_factory=dict)
+
+    def add(self, level: ActivityCdyn) -> None:
+        """Register an activity level; duplicate names are rejected."""
+        if level.name in self.levels:
+            raise ConfigurationError(f"duplicate activity level {level.name!r}")
+        self.levels[level.name] = level
+
+    def fraction(self, name: str) -> float:
+        """Cdyn fraction of the named activity level."""
+        try:
+            return self.levels[name].cdyn_fraction
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown activity level {name!r}") from exc
+
+    def names(self) -> List[str]:
+        """Registered activity-level names, in insertion order."""
+        return list(self.levels)
+
+    @classmethod
+    def client_default(cls) -> "CdynTable":
+        """Activity levels representative of client CPU cores.
+
+        ``power_virus`` is by definition 1.0.  Typical SPEC-class code sits
+        around 55-75 % of virus Cdyn; memory-bound code lower because the
+        core stalls; the TDP-sizing workload ("maximum theoretical load, but
+        not a power-virus") around 80 %.
+        """
+        table = cls()
+        for level in (
+            ActivityCdyn("idle", 0.02),
+            ActivityCdyn("memory_bound", 0.42),
+            ActivityCdyn("typical", 0.62),
+            ActivityCdyn("compute_bound", 0.74),
+            ActivityCdyn("tdp_workload", 0.80),
+            ActivityCdyn("avx_heavy", 0.92),
+            ActivityCdyn("power_virus", 1.0),
+        ):
+            table.add(level)
+        return table

@@ -1,0 +1,69 @@
+"""Dynamic (switching) power model.
+
+Dynamic power of CMOS logic is ``P = Cdyn * V^2 * f`` where ``Cdyn`` is the
+*effective* dynamic capacitance: the physical switched capacitance scaled by
+the activity factor of the running code.  The paper uses Cdyn as the knob
+that distinguishes power-virus levels from typical applications (Fig. 2), and
+the power-budget-management firmware uses it to predict the power cost of a
+frequency/voltage operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class DynamicPowerModel:
+    """Dynamic power of one component (a core, the graphics engine, ...).
+
+    Parameters
+    ----------
+    cdyn_max_f:
+        Effective dynamic capacitance, in farads, when running a power-virus
+        (activity factor 1.0).  Client CPU cores are in the low nanofarad
+        range; integrated graphics engines somewhat higher.
+    """
+
+    cdyn_max_f: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.cdyn_max_f, "cdyn_max_f")
+
+    def power_w(
+        self, voltage_v: float, frequency_hz: float, activity: float = 1.0
+    ) -> float:
+        """Dynamic power at the given operating point.
+
+        Parameters
+        ----------
+        voltage_v:
+            Supply voltage at the load.
+        frequency_hz:
+            Clock frequency.
+        activity:
+            Activity factor in [0, 1]; 1.0 corresponds to the power-virus.
+        """
+        ensure_non_negative(voltage_v, "voltage_v")
+        ensure_non_negative(frequency_hz, "frequency_hz")
+        ensure_non_negative(activity, "activity")
+        return self.cdyn_max_f * activity * voltage_v * voltage_v * frequency_hz
+
+    def current_a(
+        self, voltage_v: float, frequency_hz: float, activity: float = 1.0
+    ) -> float:
+        """Dynamic supply current at the given operating point."""
+        if voltage_v <= 0:
+            return 0.0
+        return self.power_w(voltage_v, frequency_hz, activity) / voltage_v
+
+    def virus_current_a(self, voltage_v: float, frequency_hz: float) -> float:
+        """Worst-case (power-virus) current at the given voltage/frequency."""
+        return self.current_a(voltage_v, frequency_hz, activity=1.0)
+
+    def scaled(self, factor: float) -> "DynamicPowerModel":
+        """A model with Cdyn scaled by *factor* (e.g. a wider core)."""
+        ensure_positive(factor, "factor")
+        return DynamicPowerModel(cdyn_max_f=self.cdyn_max_f * factor)

@@ -1,0 +1,108 @@
+"""Leakage power model.
+
+Leakage is the power a powered-on circuit burns even when its clocks are
+gated.  It grows super-linearly with supply voltage and exponentially with
+temperature.  Leakage is the whole reason per-core power-gates exist, and the
+whole cost of bypassing them: in DarkGates' bypass mode idle cores keep
+leaking, which
+
+* shrinks the power budget available to the graphics engine (Fig. 9),
+* more than triples package-C7 idle power (Section 4.3), and
+* adds a small amount of reliability stress (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class LeakagePowerModel:
+    """Leakage power of one component with V/T dependence.
+
+    The model is the standard compact form used in architectural studies:
+
+    ``P_leak(V, T) = P_ref * (V / V_ref) * exp(kv * (V - V_ref))
+                           * exp(kt * (T - T_ref))``
+
+    Parameters
+    ----------
+    reference_power_w:
+        Leakage power at the reference voltage and temperature.
+    reference_voltage_v:
+        Voltage at which ``reference_power_w`` was characterised.
+    reference_temperature_c:
+        Temperature (deg C) at which ``reference_power_w`` was characterised.
+    voltage_sensitivity_per_v:
+        Exponential voltage coefficient ``kv`` (1/V).  A value around 3
+        roughly doubles leakage for a 230 mV increase.
+    temperature_sensitivity_per_c:
+        Exponential temperature coefficient ``kt`` (1/degC).  A value around
+        0.017 doubles leakage for a ~40 degC increase.
+    """
+
+    reference_power_w: float
+    reference_voltage_v: float = 1.0
+    reference_temperature_c: float = 60.0
+    voltage_sensitivity_per_v: float = 3.0
+    temperature_sensitivity_per_c: float = 0.017
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.reference_power_w, "reference_power_w")
+        ensure_positive(self.reference_voltage_v, "reference_voltage_v")
+        ensure_non_negative(self.voltage_sensitivity_per_v, "voltage_sensitivity_per_v")
+        ensure_non_negative(
+            self.temperature_sensitivity_per_c, "temperature_sensitivity_per_c"
+        )
+
+    def power_w(self, voltage_v: float, temperature_c: float = 60.0) -> float:
+        """Leakage power at the given voltage and temperature.
+
+        Zero voltage (a power-gated or unpowered circuit) gives zero leakage.
+        """
+        ensure_non_negative(voltage_v, "voltage_v")
+        if voltage_v == 0.0 or self.reference_power_w == 0.0:
+            return 0.0
+        voltage_ratio = voltage_v / self.reference_voltage_v
+        voltage_term = math.exp(
+            self.voltage_sensitivity_per_v * (voltage_v - self.reference_voltage_v)
+        )
+        temperature_term = math.exp(
+            self.temperature_sensitivity_per_c
+            * (temperature_c - self.reference_temperature_c)
+        )
+        return self.reference_power_w * voltage_ratio * voltage_term * temperature_term
+
+    def current_a(self, voltage_v: float, temperature_c: float = 60.0) -> float:
+        """Leakage current at the given voltage and temperature."""
+        if voltage_v <= 0:
+            return 0.0
+        return self.power_w(voltage_v, temperature_c) / voltage_v
+
+    def gated_power_w(
+        self,
+        voltage_v: float,
+        temperature_c: float = 60.0,
+        residual_fraction: float = 0.02,
+    ) -> float:
+        """Leakage when the component sits behind an *off* power-gate.
+
+        Only the sleep transistors' sub-threshold leakage remains, modelled
+        as a small fraction of the ungated leakage.
+        """
+        ensure_non_negative(residual_fraction, "residual_fraction")
+        return self.power_w(voltage_v, temperature_c) * residual_fraction
+
+    def scaled(self, factor: float) -> "LeakagePowerModel":
+        """A model with the reference leakage scaled by *factor*."""
+        ensure_positive(factor, "factor")
+        return LeakagePowerModel(
+            reference_power_w=self.reference_power_w * factor,
+            reference_voltage_v=self.reference_voltage_v,
+            reference_temperature_c=self.reference_temperature_c,
+            voltage_sensitivity_per_v=self.voltage_sensitivity_per_v,
+            temperature_sensitivity_per_c=self.temperature_sensitivity_per_c,
+        )

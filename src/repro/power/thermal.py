@@ -1,0 +1,91 @@
+"""Thermal limits and a lumped thermal model.
+
+The paper's Section 2.4.1 describes the two thermal design limits that
+matter for the evaluation:
+
+* **Tjmax** — the junction temperature must never exceed the maximum rated
+  value; the PMU throttles (or ultimately shuts down) to enforce this.
+* **TDP** — the sustained power the cooling solution is sized for.  A system
+  configured to a lower TDP has a weaker cooling solution, so it reaches
+  Tjmax at a lower sustained power.
+
+The lumped model here ties the two together: the cooling solution's thermal
+resistance is chosen such that dissipating exactly TDP watts at the maximum
+ambient temperature lands the junction exactly at Tjmax.  Sustained power at
+or below TDP is therefore thermally safe, and the "thermally limited"
+frequency of a configuration is the highest frequency whose sustained power
+stays under TDP — which is how the evaluation's 35 W systems end up slower
+than the 91 W ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class ThermalLimits:
+    """Thermal design limits of one system configuration."""
+
+    tdp_w: float
+    tjmax_c: float = 100.0
+    ambient_c: float = 35.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.tdp_w, "tdp_w")
+        ensure_positive(self.tjmax_c, "tjmax_c")
+        if self.ambient_c >= self.tjmax_c:
+            raise ConfigurationError("ambient_c must be below tjmax_c")
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Steady-state lumped thermal model of a processor plus cooling solution.
+
+    Parameters
+    ----------
+    limits:
+        Thermal limits of the configuration (TDP, Tjmax, ambient).
+    """
+
+    limits: ThermalLimits
+
+    @property
+    def thermal_resistance_c_per_w(self) -> float:
+        """Junction-to-ambient thermal resistance of the cooling solution.
+
+        Sized so that dissipating exactly TDP at the design ambient reaches
+        exactly Tjmax — the standard way TDP and the cooler are co-designed.
+        """
+        return (self.limits.tjmax_c - self.limits.ambient_c) / self.limits.tdp_w
+
+    def junction_temperature_c(self, sustained_power_w: float) -> float:
+        """Steady-state junction temperature at *sustained_power_w*."""
+        if sustained_power_w < 0:
+            raise ConfigurationError("sustained_power_w must be >= 0")
+        return self.limits.ambient_c + self.thermal_resistance_c_per_w * sustained_power_w
+
+    def is_thermally_safe(self, sustained_power_w: float) -> bool:
+        """True when the sustained power keeps the junction at or below Tjmax."""
+        return self.junction_temperature_c(sustained_power_w) <= self.limits.tjmax_c + 1e-9
+
+    def max_sustained_power_w(self) -> float:
+        """Largest sustained power the cooling solution can remove (== TDP)."""
+        return self.limits.tdp_w
+
+    def headroom_w(self, sustained_power_w: float) -> float:
+        """Power headroom left before the thermal limit (negative if over)."""
+        return self.limits.tdp_w - sustained_power_w
+
+    def temperature_rise_c(self, extra_power_w: float) -> float:
+        """Additional junction temperature caused by *extra_power_w*.
+
+        Used by the reliability model to estimate the ~5 degC rise the paper
+        attributes to keeping idle cores powered in bypass mode.
+        """
+        if extra_power_w < 0:
+            raise ConfigurationError("extra_power_w must be >= 0")
+        return self.thermal_resistance_c_per_w * extra_power_w

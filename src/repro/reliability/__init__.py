@@ -1,0 +1,26 @@
+"""Lifetime-reliability model.
+
+Section 4.2 of the paper notes that bypassing the power-gates changes the
+reliability picture in two opposite ways: sharing every bump between the
+cores relieves electromigration, but keeping idle cores powered increases
+stress time and junction temperature (~5 degC), which costs a small extra
+reliability guardband — "less than 5 mV / 20 mV ... for 91 W / 35 W".
+
+* :mod:`repro.reliability.aging` — voltage/temperature aging acceleration
+  and the stress-time bookkeeping.
+* :mod:`repro.reliability.guardband` — conversion of the extra stress into
+  the reliability guardband the firmware adds in bypass mode.
+* :mod:`repro.reliability.electromigration` — bump-current electromigration
+  margin of gated versus bypassed packages.
+"""
+
+from repro.reliability.aging import AgingModel, StressProfile
+from repro.reliability.electromigration import BumpCurrentModel
+from repro.reliability.guardband import ReliabilityGuardbandModel
+
+__all__ = [
+    "AgingModel",
+    "StressProfile",
+    "BumpCurrentModel",
+    "ReliabilityGuardbandModel",
+]

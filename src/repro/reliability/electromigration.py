@@ -1,0 +1,82 @@
+"""Electromigration (EM) bump-current model.
+
+Section 4.2 notes an upside of bypassing: with all core voltage domains
+shorted, every package bump of the merged domain can carry any core's
+current, so the worst-case current per bump drops and electromigration
+margins improve.  This module models that effect with simple bump-count
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_positive
+
+
+@dataclass(frozen=True)
+class BumpCurrentModel:
+    """Per-bump current of gated versus bypassed core voltage domains.
+
+    Parameters
+    ----------
+    bumps_per_core_domain:
+        Package bumps allocated to one core's gated voltage domain.
+    shared_domain_extra_bumps:
+        Bumps of the shared (ungated) domain that become usable by every
+        core once the domains are merged.
+    max_bump_current_a:
+        Electromigration-limited current per bump.
+    """
+
+    bumps_per_core_domain: int = 120
+    shared_domain_extra_bumps: int = 80
+    max_bump_current_a: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.bumps_per_core_domain < 1 or self.shared_domain_extra_bumps < 0:
+            raise ConfigurationError("bump counts must be positive")
+        ensure_positive(self.max_bump_current_a, "max_bump_current_a")
+
+    def per_bump_current_gated_a(self, core_current_a: float) -> float:
+        """Worst-case bump current when each core has its own domain."""
+        ensure_positive(core_current_a, "core_current_a")
+        return core_current_a / self.bumps_per_core_domain
+
+    def per_bump_current_bypassed_a(
+        self, core_current_a: float, core_count: int, active_cores: int
+    ) -> float:
+        """Worst-case bump current with all domains merged.
+
+        With the domains shorted, the bumps of every core domain plus the
+        shared domain spread the combined current of the active cores.
+        """
+        if core_count < 1 or not 0 <= active_cores <= core_count:
+            raise ConfigurationError("invalid core counts")
+        ensure_positive(core_current_a, "core_current_a")
+        total_bumps = (
+            self.bumps_per_core_domain * core_count + self.shared_domain_extra_bumps
+        )
+        total_current = core_current_a * active_cores
+        return total_current / total_bumps
+
+    def em_margin_gated(self, core_current_a: float) -> float:
+        """EM margin (limit / actual) of the gated configuration."""
+        return self.max_bump_current_a / self.per_bump_current_gated_a(core_current_a)
+
+    def em_margin_bypassed(
+        self, core_current_a: float, core_count: int = 4, active_cores: int = 4
+    ) -> float:
+        """EM margin (limit / actual) of the bypassed configuration."""
+        return self.max_bump_current_a / self.per_bump_current_bypassed_a(
+            core_current_a, core_count, active_cores
+        )
+
+    def bypass_improves_margin(
+        self, core_current_a: float, core_count: int = 4, active_cores: int = 4
+    ) -> bool:
+        """True when merging the domains improves the worst-case EM margin."""
+        return self.em_margin_bypassed(
+            core_current_a, core_count, active_cores
+        ) >= self.em_margin_gated(core_current_a)

@@ -1,0 +1,99 @@
+"""Reliability guardband required by bypass mode.
+
+The firmware converts the extra aging stress of bypass mode (idle cores stay
+powered, the die runs ~5 degC warmer) into a small additional voltage
+guardband so that the product still meets its rated lifetime.  The paper
+states the result: less than 5 mV at 91 W TDP and less than 20 mV at 35 W
+TDP (Section 4.2) — lower-TDP parts need more because their baseline cores
+spend a larger fraction of time power-gated, so bypassing changes their
+stress profile more, and their smaller coolers run the silicon relatively
+warmer for the same relative load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import ensure_in_range, ensure_positive
+from repro.reliability.aging import AgingModel, StressProfile
+
+
+@dataclass(frozen=True)
+class ReliabilityGuardbandModel:
+    """Derives the bypass-mode reliability guardband for a TDP configuration.
+
+    Parameters
+    ----------
+    aging:
+        The aging-rate model.
+    baseline_powered_fraction:
+        Fraction of lifetime a core is powered in the *gated* baseline
+        (it is gated whenever idle).
+    bypass_temperature_rise_c:
+        Extra junction temperature in bypass mode from the leakage of
+        un-gated idle cores (the paper quotes roughly 5 degC).
+    average_voltage_v:
+        Average rail voltage over the product lifetime.
+    """
+
+    aging: AgingModel = AgingModel()
+    bypass_temperature_rise_c: float = 5.0
+    average_voltage_v: float = 1.05
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.average_voltage_v, "average_voltage_v")
+
+    def guardband_v(
+        self,
+        tdp_w: float,
+        baseline_powered_fraction: float,
+        average_temperature_c: float,
+    ) -> float:
+        """Reliability guardband for one TDP configuration.
+
+        Parameters
+        ----------
+        tdp_w:
+            TDP of the configuration (only used for reporting sanity).
+        baseline_powered_fraction:
+            Fraction of lifetime a core is powered (and stressed) in the
+            gated baseline; bypass mode raises this to 1.0.
+        average_temperature_c:
+            Average junction temperature of the baseline configuration.
+        """
+        ensure_positive(tdp_w, "tdp_w")
+        ensure_in_range(
+            baseline_powered_fraction, 0.0, 1.0, "baseline_powered_fraction"
+        )
+        baseline = StressProfile(
+            powered_time_fraction=baseline_powered_fraction,
+            average_voltage_v=self.average_voltage_v,
+            average_temperature_c=average_temperature_c,
+        )
+        bypassed = StressProfile(
+            powered_time_fraction=1.0,
+            average_voltage_v=self.average_voltage_v,
+            average_temperature_c=average_temperature_c + self.bypass_temperature_rise_c,
+        )
+        return self.aging.voltage_derating_for_equal_lifetime(baseline, bypassed)
+
+    def guardband_for_high_tdp_desktop(self) -> float:
+        """Reliability guardband of a 91 W desktop (paper: < 5 mV).
+
+        High-TDP desktops run heavier sustained loads, so their cores are
+        powered most of the time even with gating available — bypassing
+        changes little.
+        """
+        return self.guardband_v(
+            tdp_w=91.0, baseline_powered_fraction=0.95, average_temperature_c=72.0
+        )
+
+    def guardband_for_low_tdp_desktop(self) -> float:
+        """Reliability guardband of a 35 W desktop (paper: < 20 mV).
+
+        Low-TDP systems idle (and gate) their cores much more, so bypass
+        mode increases their stress-time fraction substantially.
+        """
+        return self.guardband_v(
+            tdp_w=35.0, baseline_powered_fraction=0.60, average_temperature_c=66.0
+        )

@@ -1,0 +1,31 @@
+"""Simulation engine.
+
+Runs workload descriptors against a firmware-configured processor
+(:class:`~repro.pmu.pcode.Pcode`) and reports the metrics the paper's
+evaluation is built from: relative performance for CPU and graphics
+workloads, average power for energy scenarios, and idle-state residencies
+for phase traces.
+
+* :mod:`repro.sim.metrics` — result dataclasses.
+* :mod:`repro.sim.engine` — the engine itself.
+* :mod:`repro.sim.residency` — phase-trace replay and residency accounting.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import (
+    CpuRunResult,
+    EnergyRunResult,
+    GraphicsRunResult,
+    PhaseEnergy,
+)
+from repro.sim.residency import ResidencyReport, ResidencyTracker
+
+__all__ = [
+    "SimulationEngine",
+    "CpuRunResult",
+    "EnergyRunResult",
+    "GraphicsRunResult",
+    "PhaseEnergy",
+    "ResidencyReport",
+    "ResidencyTracker",
+]

@@ -1,0 +1,128 @@
+"""The simulation engine: workload descriptors in, evaluation metrics out.
+
+The engine is intentionally thin: all the physics lives in the PDN, power,
+and firmware models.  What the engine adds is the translation between a
+workload descriptor and the firmware's decision inputs, and the conversion
+of the resolved operating point into the metric the paper reports for that
+workload class (relative SPEC score, relative FPS, average power).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.pmu.cstates import PackageCState
+from repro.pmu.dvfs import CpuDemand
+from repro.pmu.pbm import GraphicsDemand
+from repro.pmu.pcode import Pcode
+from repro.sim.metrics import (
+    CpuRunResult,
+    EnergyRunResult,
+    GraphicsRunResult,
+    PhaseEnergy,
+)
+from repro.workloads.descriptors import CpuWorkload, EnergyScenario, GraphicsWorkload
+
+
+class SimulationEngine:
+    """Runs workloads on one firmware-configured system."""
+
+    def __init__(self, pcode: Pcode) -> None:
+        self._pcode = pcode
+
+    @property
+    def pcode(self) -> Pcode:
+        """The firmware configuration this engine simulates."""
+        return self._pcode
+
+    # -- CPU workloads -----------------------------------------------------------------
+
+    def run_cpu_workload(self, workload: CpuWorkload) -> CpuRunResult:
+        """Run a CPU workload and report its achieved relative performance."""
+        if workload.active_cores > self._pcode.processor.core_count:
+            raise ConfigurationError(
+                f"workload {workload.name!r} needs {workload.active_cores} cores; "
+                f"the processor has {self._pcode.processor.core_count}"
+            )
+        demand = CpuDemand(
+            active_cores=workload.active_cores,
+            activity=workload.activity,
+            memory_intensity=workload.memory_intensity,
+        )
+        operating_point = self._pcode.resolve_cpu_operating_point(demand)
+        performance = workload.relative_performance(operating_point.frequency_hz)
+        return CpuRunResult(
+            workload_name=workload.name,
+            operating_point=operating_point,
+            relative_performance=performance,
+        )
+
+    # -- graphics workloads ---------------------------------------------------------------
+
+    def run_graphics_workload(self, workload: GraphicsWorkload) -> GraphicsRunResult:
+        """Run a graphics workload and report its achieved relative FPS."""
+        demand = GraphicsDemand(
+            graphics_activity=workload.graphics_activity,
+            driver_cores=workload.driver_cores,
+            driver_activity=workload.driver_activity,
+            memory_intensity=workload.memory_intensity,
+        )
+        operating_point = self._pcode.resolve_graphics_operating_point(demand)
+        fps = workload.relative_fps(operating_point.graphics_frequency_hz)
+        return GraphicsRunResult(
+            workload_name=workload.name,
+            operating_point=operating_point,
+            relative_fps=fps,
+        )
+
+    # -- energy scenarios ------------------------------------------------------------------
+
+    def run_energy_scenario(self, scenario: EnergyScenario) -> EnergyRunResult:
+        """Run an energy-efficiency scenario and report average power."""
+        phases = []
+        for phase in scenario.phases:
+            power = self._phase_power_w(phase)
+            phases.append(
+                PhaseEnergy(phase_name=phase.name, fraction=phase.fraction, power_w=power)
+            )
+        return EnergyRunResult(
+            scenario_name=scenario.name,
+            phases=tuple(phases),
+            average_power_limit_w=scenario.average_power_limit_w,
+        )
+
+    def _phase_power_w(self, phase) -> float:
+        if phase.mode in ("off", "sleep"):
+            # S-states: the processor is off; only the hinted platform share
+            # attributed to it remains and is identical across configurations.
+            return phase.active_power_hint_w
+        if phase.mode == "active":
+            return self._active_wake_power_w(phase.active_power_hint_w)
+        # package_idle
+        state = self._resolve_idle_state(phase.package_cstate)
+        idle_power = self._pcode.cstate_model.power_w(state)
+        return idle_power + phase.active_power_hint_w
+
+    def _resolve_idle_state(self, name: str) -> PackageCState:
+        if name.lower() == "deepest":
+            return self._pcode.deepest_package_cstate()
+        state = PackageCState.from_name(name)
+        deepest = self._pcode.deepest_package_cstate()
+        if state.depth > deepest.depth:
+            return deepest
+        return state
+
+    def _active_wake_power_w(self, hint_w: float) -> float:
+        """Power during the short active bursts of an idle-platform scenario.
+
+        The hint covers the configuration-independent part (one core plus the
+        woken uncore slice at low frequency); on top of that a bypassed part
+        pays the leakage of the cores that would otherwise be power-gated.
+        """
+        base = hint_w
+        if not self._pcode.bypass_mode:
+            return base
+        processor = self._pcode.processor
+        extra = sum(
+            core.leakage.power_w(1.0, 60.0) for core in processor.die.cores[1:]
+        )
+        return base + extra

@@ -1,0 +1,89 @@
+"""Result types produced by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.pmu.dvfs import OperatingPoint
+from repro.pmu.pbm import GraphicsOperatingPoint
+
+
+@dataclass(frozen=True)
+class CpuRunResult:
+    """Outcome of running one CPU workload on one system configuration."""
+
+    workload_name: str
+    operating_point: OperatingPoint
+    relative_performance: float
+
+    @property
+    def frequency_hz(self) -> float:
+        """Resolved core frequency."""
+        return self.operating_point.frequency_hz
+
+    @property
+    def package_power_w(self) -> float:
+        """Sustained package power during the run."""
+        return self.operating_point.package_power_w
+
+    def improvement_over(self, baseline: "CpuRunResult") -> float:
+        """Fractional performance improvement over a baseline run."""
+        return self.relative_performance / baseline.relative_performance - 1.0
+
+
+@dataclass(frozen=True)
+class GraphicsRunResult:
+    """Outcome of running one graphics workload on one system configuration."""
+
+    workload_name: str
+    operating_point: GraphicsOperatingPoint
+    relative_fps: float
+
+    @property
+    def graphics_frequency_hz(self) -> float:
+        """Resolved graphics frequency."""
+        return self.operating_point.graphics_frequency_hz
+
+    def degradation_from(self, baseline: "GraphicsRunResult") -> float:
+        """Fractional FPS degradation relative to a baseline run (>= 0)."""
+        return max(0.0, 1.0 - self.relative_fps / baseline.relative_fps)
+
+
+@dataclass(frozen=True)
+class PhaseEnergy:
+    """Power attributed to one phase of an energy scenario."""
+
+    phase_name: str
+    fraction: float
+    power_w: float
+
+    @property
+    def contribution_w(self) -> float:
+        """Contribution of this phase to the scenario's average power."""
+        return self.fraction * self.power_w
+
+
+@dataclass(frozen=True)
+class EnergyRunResult:
+    """Outcome of running one energy scenario on one system configuration."""
+
+    scenario_name: str
+    phases: Tuple[PhaseEnergy, ...]
+    average_power_limit_w: float
+
+    @property
+    def average_power_w(self) -> float:
+        """Residency-weighted average processor power."""
+        return sum(phase.contribution_w for phase in self.phases)
+
+    @property
+    def meets_limit(self) -> bool:
+        """Whether the configuration meets the scenario's power limit."""
+        return self.average_power_w <= self.average_power_limit_w
+
+    def reduction_from(self, reference: "EnergyRunResult") -> float:
+        """Fractional average-power reduction relative to a reference run."""
+        if reference.average_power_w <= 0:
+            return 0.0
+        return 1.0 - self.average_power_w / reference.average_power_w

@@ -1,0 +1,97 @@
+"""Phase-trace replay and C-state residency accounting.
+
+The energy scenarios of Fig. 10 are defined directly as residency mixes, but
+the library also supports replaying an explicit :class:`PhaseTrace` (bursts
+of compute separated by idle gaps), deriving the package C-state residencies
+from the idle-gap lengths, and integrating energy over the trace.  This is
+the closest software analogue of what the paper measures with the NI-DAQ
+setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_positive
+from repro.pmu.cstates import PackageCState
+from repro.pmu.pcode import Pcode
+from repro.workloads.phases import PhaseTrace
+
+
+@dataclass(frozen=True)
+class ResidencyReport:
+    """Residency fractions and average power over a replayed trace."""
+
+    trace_name: str
+    residency_by_state: Dict[str, float]
+    average_power_w: float
+    energy_j: float
+    duration_s: float
+
+    def residency(self, state_name: str) -> float:
+        """Residency fraction of one package C-state (0 if never entered)."""
+        return self.residency_by_state.get(state_name, 0.0)
+
+
+class ResidencyTracker:
+    """Replays a phase trace against one firmware configuration.
+
+    Idle gaps are mapped to package C-states by their duration: very short
+    gaps only reach the shallow states (entering a deep state costs more
+    energy than it saves below its break-even time), longer gaps reach the
+    deepest state the platform supports.
+    """
+
+    #: (minimum idle duration in seconds, state entered) — shallow to deep.
+    _BREAK_EVEN_LADDER: Tuple[Tuple[float, str], ...] = (
+        (0.0, "C2"),
+        (0.0005, "C3"),
+        (0.002, "C6"),
+        (0.008, "C7"),
+        (0.030, "C8"),
+    )
+
+    def __init__(self, pcode: Pcode) -> None:
+        self._pcode = pcode
+
+    def state_for_idle_duration(self, duration_s: float) -> PackageCState:
+        """Deepest state reachable for an idle gap of *duration_s*."""
+        ensure_positive(duration_s, "duration_s")
+        chosen = "C2"
+        for minimum, state_name in self._BREAK_EVEN_LADDER:
+            if duration_s >= minimum:
+                chosen = state_name
+        state = PackageCState.from_name(chosen)
+        deepest = self._pcode.deepest_package_cstate()
+        if state.depth > deepest.depth:
+            return deepest
+        return state
+
+    def replay(self, trace: PhaseTrace) -> ResidencyReport:
+        """Replay *trace* and report residencies, average power and energy."""
+        if trace.duration_s <= 0:
+            raise ConfigurationError("trace has zero duration")
+        residency: Dict[str, float] = {}
+        energy_j = 0.0
+        for phase in trace.phases:
+            if phase.is_idle:
+                state = self.state_for_idle_duration(phase.duration_s)
+                power = self._pcode.cstate_model.power_w(state)
+                key = state.value
+            else:
+                operating_point = self._pcode.resolve_cpu_operating_point(phase.demand)
+                power = operating_point.package_power_w
+                key = PackageCState.C0.value
+            residency[key] = residency.get(key, 0.0) + phase.duration_s
+            energy_j += power * phase.duration_s
+        duration = trace.duration_s
+        residency_fractions = {k: v / duration for k, v in residency.items()}
+        return ResidencyReport(
+            trace_name=trace.name,
+            residency_by_state=residency_fractions,
+            average_power_w=energy_j / duration,
+            energy_j=energy_j,
+            duration_s=duration,
+        )

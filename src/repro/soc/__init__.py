@@ -1,0 +1,45 @@
+"""Processor (SoC) substrate.
+
+Models the hardware the paper evaluates on: a four-core Skylake-class client
+SoC with integrated graphics, built as one die that is packaged either for
+high-end mobile (Skylake-H, BGA, power-gates enabled) or for high-end desktop
+(Skylake-S, LGA, power-gates bypassed under DarkGates).
+
+* :mod:`repro.soc.core` — a CPU core with dynamic/leakage power and a
+  per-core power-gate.
+* :mod:`repro.soc.graphics` — the integrated graphics engine.
+* :mod:`repro.soc.uncore` — LLC, ring, system agent and memory IO.
+* :mod:`repro.soc.die` — the die: cores + graphics + uncore.
+* :mod:`repro.soc.package` — LGA/BGA packages and domain shorting (bypass).
+* :mod:`repro.soc.skus` — concrete SKUs (i7-6700K, i7-6920HQ, Broadwell) and
+  their cTDP configurations.
+* :mod:`repro.soc.processor` — the assembled processor handed to the PMU
+  firmware model and the simulation engine.
+"""
+
+from repro.soc.core import CpuCore
+from repro.soc.die import Die
+from repro.soc.graphics import GraphicsEngine
+from repro.soc.package import Package, PackageKind
+from repro.soc.processor import Processor
+from repro.soc.skus import (
+    SkuDescription,
+    broadwell_desktop,
+    skylake_h_mobile,
+    skylake_s_desktop,
+)
+from repro.soc.uncore import Uncore
+
+__all__ = [
+    "CpuCore",
+    "Die",
+    "GraphicsEngine",
+    "Package",
+    "PackageKind",
+    "Processor",
+    "SkuDescription",
+    "broadwell_desktop",
+    "skylake_h_mobile",
+    "skylake_s_desktop",
+    "Uncore",
+]

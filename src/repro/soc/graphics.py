@@ -1,0 +1,89 @@
+"""Integrated graphics engine model.
+
+The graphics engine shares the compute-domain power budget with the CPU
+cores (paper Sections 2.1 and 7.2).  Its performance on 3DMark-class
+workloads scales with its own frequency, so whatever budget the PBM can give
+it translates almost directly into frames per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.grid import FrequencyGrid
+from repro.common.units import MHZ
+from repro.common.validation import ensure_positive
+from repro.power.dynamic import DynamicPowerModel
+from repro.power.leakage import LeakagePowerModel
+
+
+@dataclass(frozen=True)
+class GraphicsEngine:
+    """The die's integrated graphics engine (GT).
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"gt2"``.
+    frequency_grid:
+        Selectable graphics frequencies; Skylake GT2 spans 300 MHz - 1.15 GHz
+        in 50 MHz steps (paper Table 2).
+    dynamic / leakage:
+        Power models of the graphics slice.
+    voltage_v0 / voltage_slope_per_ghz:
+        Linearised graphics V/F relationship used to cost an operating point.
+    """
+
+    name: str = "gt2"
+    frequency_grid: FrequencyGrid = field(
+        default_factory=lambda: FrequencyGrid(
+            min_hz=300 * MHZ, max_hz=1150 * MHZ, step_hz=25 * MHZ
+        )
+    )
+    dynamic: DynamicPowerModel = field(
+        default_factory=lambda: DynamicPowerModel(cdyn_max_f=28e-9)
+    )
+    leakage: LeakagePowerModel = field(
+        default_factory=lambda: LeakagePowerModel(
+            reference_power_w=1.6, reference_voltage_v=1.0
+        )
+    )
+    voltage_v0: float = 0.55
+    voltage_slope_per_ghz: float = 0.42
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.voltage_v0, "voltage_v0")
+        ensure_positive(self.voltage_slope_per_ghz, "voltage_slope_per_ghz")
+
+    def voltage_for_frequency(self, frequency_hz: float) -> float:
+        """Supply voltage required at *frequency_hz*."""
+        return self.voltage_v0 + self.voltage_slope_per_ghz * (frequency_hz / 1e9)
+
+    def active_power_w(
+        self, frequency_hz: float, activity: float = 0.9, temperature_c: float = 75.0
+    ) -> float:
+        """Power of the graphics engine while rendering."""
+        voltage = self.voltage_for_frequency(frequency_hz)
+        dynamic = self.dynamic.power_w(voltage, frequency_hz, activity)
+        leak = self.leakage.power_w(voltage, temperature_c)
+        return dynamic + leak
+
+    def idle_power_w(self, temperature_c: float = 50.0) -> float:
+        """Power when the graphics engine is idle and power-gated (RC6)."""
+        # RC6 gates the render engines; a small residual remains for the
+        # always-on display plumbing attributed to the graphics slice.
+        return 0.05
+
+    def max_frequency_within_power(
+        self, budget_w: float, activity: float = 0.9, temperature_c: float = 75.0
+    ) -> float:
+        """Highest selectable graphics frequency whose power fits *budget_w*.
+
+        Walks the frequency grid downwards; returns the grid minimum if even
+        that exceeds the budget (the engine cannot run slower than its
+        minimum operating point).
+        """
+        for frequency in self.frequency_grid.descending():
+            if self.active_power_w(frequency, activity, temperature_c) <= budget_w:
+                return frequency
+        return self.frequency_grid.min_hz

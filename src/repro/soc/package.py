@@ -1,0 +1,102 @@
+"""Processor package model (LGA desktop / BGA mobile).
+
+The package is where DarkGates' first key technique lives: the desktop (LGA)
+package shorts the per-core gated voltage domains and the shared ungated
+domain into one (paper Fig. 5 and Fig. 6), while the mobile (BGA) package
+keeps them separate so the power-gates stay usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.pdn.ladder import PdnConfiguration, core_node
+
+
+class PackageKind(Enum):
+    """Physical package family."""
+
+    LGA = "lga"  # land grid array: socketed desktop packages
+    BGA = "bga"  # ball grid array: soldered-down mobile packages
+
+
+@dataclass(frozen=True)
+class Package:
+    """A package option for the client die.
+
+    Parameters
+    ----------
+    name:
+        Package name (e.g. ``"skylake_s_lga1151"``).
+    kind:
+        LGA (desktop) or BGA (mobile).
+    bypass_power_gates:
+        Whether this package shorts the gated and ungated core domains
+        (the DarkGates desktop package does; the mobile package does not).
+    pdn:
+        The power-delivery configuration of the core domain as seen through
+        this package.
+    """
+
+    name: str
+    kind: PackageKind
+    bypass_power_gates: bool
+    pdn: PdnConfiguration
+
+    def __post_init__(self) -> None:
+        if self.pdn.bypassed != self.bypass_power_gates:
+            raise ConfigurationError(
+                "package bypass flag and PDN configuration disagree: "
+                f"bypass_power_gates={self.bypass_power_gates} but "
+                f"pdn.bypassed={self.pdn.bypassed}"
+            )
+
+    # -- voltage domains -------------------------------------------------------------
+
+    def core_voltage_domains(self) -> List[str]:
+        """Names of the core-supply voltage domains this package exposes.
+
+        The gated package exposes the shared ungated domain plus one domain
+        per core; the bypassed package exposes a single merged domain.
+        """
+        if self.bypass_power_gates:
+            return ["vcc_core_merged"]
+        domains = ["vcu"]
+        domains.extend(core_node(i) for i in range(self.pdn.core_count))
+        return domains
+
+    def domain_count(self) -> int:
+        """Number of distinct core-supply voltage domains."""
+        return len(self.core_voltage_domains())
+
+    def supports_core_power_gating(self) -> bool:
+        """Whether idle cores can actually be power-gated in this package."""
+        return not self.bypass_power_gates
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        gating = "bypassed" if self.bypass_power_gates else "enabled"
+        return f"{self.name}: {self.kind.value.upper()} package, power-gates {gating}"
+
+
+def desktop_package(pdn: PdnConfiguration, name: str = "skylake_s_lga1151") -> Package:
+    """The DarkGates desktop package: LGA with power-gates bypassed."""
+    return Package(
+        name=name,
+        kind=PackageKind.LGA,
+        bypass_power_gates=True,
+        pdn=pdn.with_bypass(),
+    )
+
+
+def mobile_package(pdn: PdnConfiguration, name: str = "skylake_h_bga1440") -> Package:
+    """The baseline mobile package: BGA with power-gates enabled."""
+    return Package(
+        name=name,
+        kind=PackageKind.BGA,
+        bypass_power_gates=False,
+        pdn=pdn.with_gates(),
+    )

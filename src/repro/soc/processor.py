@@ -1,0 +1,80 @@
+"""The assembled processor: one die in one package at one TDP configuration.
+
+A :class:`Processor` is the hardware object the PMU firmware model and the
+simulation engine operate on.  It is deliberately policy-free: it describes
+what the silicon and package *are*, while :mod:`repro.pmu` decides how they
+are driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import ensure_positive
+from repro.power.thermal import ThermalLimits, ThermalModel
+from repro.soc.die import Die
+from repro.soc.package import Package
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A concrete processor product.
+
+    Parameters
+    ----------
+    name:
+        Marketing-style name, e.g. ``"i7-6700K"``.
+    die:
+        The silicon die.
+    package:
+        The package the die is mounted in (decides whether power-gates are
+        bypassed).
+    tdp_w:
+        Thermal design power of this configuration.  The same die/package is
+        sold and configured at several TDP levels (cTDP, Section 2.2), which
+        is exactly what the evaluation sweeps.
+    tjmax_c:
+        Maximum junction temperature.
+    """
+
+    name: str
+    die: Die
+    package: Package
+    tdp_w: float
+    tjmax_c: float = 100.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.tdp_w, "tdp_w")
+
+    # -- derived views ---------------------------------------------------------------
+
+    @property
+    def core_count(self) -> int:
+        """Number of CPU cores."""
+        return self.die.core_count
+
+    @property
+    def power_gates_bypassed(self) -> bool:
+        """True when this product's package bypasses the core power-gates."""
+        return self.package.bypass_power_gates
+
+    def thermal_model(self) -> ThermalModel:
+        """Thermal model of this configuration's cooling solution."""
+        return ThermalModel(limits=ThermalLimits(tdp_w=self.tdp_w, tjmax_c=self.tjmax_c))
+
+    def with_tdp(self, tdp_w: float) -> "Processor":
+        """The same processor configured to a different TDP (cTDP)."""
+        return Processor(
+            name=self.name,
+            die=self.die,
+            package=self.package,
+            tdp_w=tdp_w,
+            tjmax_c=self.tjmax_c,
+        )
+
+    def describe(self) -> str:
+        """One-line description used by reports and examples."""
+        return (
+            f"{self.name}: {self.core_count} cores, "
+            f"{self.package.describe()}, TDP {self.tdp_w:.0f} W"
+        )

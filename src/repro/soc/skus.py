@@ -1,0 +1,141 @@
+"""Concrete SKU definitions used by the evaluation.
+
+Table 2 of the paper lists the evaluated parts:
+
+* **i7-6700K** — Skylake-S, the high-end desktop package.  Under DarkGates
+  its package bypasses the core power-gates.
+* **i7-6920HQ** — Skylake-H, the high-end mobile package, power-gates
+  enabled.  This is the baseline the desktop part is compared against.
+
+Both share the same die (0.8 - 4.2 GHz core range, 300 - 1150 MHz graphics,
+8 MB LLC, 14 nm) and are configured across TDP levels 35 W - 91 W.
+
+For the motivational experiment (Fig. 3) the paper uses the previous
+generation (Broadwell); :func:`broadwell_desktop` builds an equivalent
+gated-package part with a slightly lower V/F ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.grid import FrequencyGrid
+from repro.common.units import GHZ, MHZ
+from repro.pdn.ladder import PdnConfiguration
+from repro.soc.die import Die, SiliconVfCharacter, skylake_client_die
+from repro.soc.package import desktop_package, mobile_package
+from repro.soc.processor import Processor
+
+#: TDP levels the evaluation sweeps for the Skylake parts (paper Fig. 8/9).
+SKYLAKE_TDP_LEVELS_W: Tuple[float, ...] = (35.0, 45.0, 65.0, 91.0)
+
+#: TDP levels used in the Broadwell motivational experiment (paper Fig. 3).
+BROADWELL_TDP_LEVELS_W: Tuple[float, ...] = (35.0, 45.0, 65.0, 95.0)
+
+
+@dataclass(frozen=True)
+class SkuDescription:
+    """Static datasheet-style description of a SKU (for Table 2 reporting)."""
+
+    name: str
+    segment: str
+    package: str
+    core_count: int
+    core_frequency_range_ghz: Tuple[float, float]
+    graphics_frequency_range_mhz: Tuple[float, float]
+    llc_mb: float
+    tdp_range_w: Tuple[float, float]
+    process_nm: int
+
+
+def skylake_s_desktop(tdp_w: float = 91.0) -> Processor:
+    """The Skylake-S (i7-6700K-class) desktop part with DarkGates bypassing."""
+    die = skylake_client_die()
+    pdn = PdnConfiguration(core_count=die.core_count)
+    return Processor(
+        name="i7-6700K (Skylake-S)",
+        die=die,
+        package=desktop_package(pdn),
+        tdp_w=tdp_w,
+    )
+
+
+def skylake_h_mobile(tdp_w: float = 91.0) -> Processor:
+    """The Skylake-H (i7-6920HQ-class) part: same die, power-gates enabled.
+
+    The paper's evaluation configures both parts to the same TDP level so
+    that the only difference is the package (gated vs bypassed); the default
+    TDP here is therefore the desktop-style 91 W rather than the part's
+    45 W datasheet value.
+    """
+    die = skylake_client_die()
+    pdn = PdnConfiguration(core_count=die.core_count)
+    return Processor(
+        name="i7-6920HQ (Skylake-H)",
+        die=die,
+        package=mobile_package(pdn),
+        tdp_w=tdp_w,
+    )
+
+
+def broadwell_desktop(tdp_w: float = 65.0) -> Processor:
+    """A Broadwell-class desktop part for the motivational experiment.
+
+    Broadwell is one generation older: slightly lower top frequency and a
+    marginally less efficient V/F characteristic, but the same gated
+    power-delivery structure as the Skylake mobile package.
+    """
+    die_template = skylake_client_die(name="broadwell_4c_gt2")
+    die = Die(
+        name=die_template.name,
+        cores=die_template.cores,
+        graphics=die_template.graphics,
+        uncore=die_template.uncore,
+        vf_character=SiliconVfCharacter(
+            v0=0.60, slope_v_per_ghz=0.125, curvature_v_per_ghz2=0.012
+        ),
+        core_frequency_grid=FrequencyGrid(
+            min_hz=800 * MHZ, max_hz=4.4 * GHZ, step_hz=100 * MHZ
+        ),
+        vmax_v=1.36,
+        vmin_v=0.55,
+        iccmax_a=130.0,
+        process_nm=14,
+        area_mm2=133.0,
+    )
+    pdn = PdnConfiguration(core_count=die.core_count)
+    return Processor(
+        name="i7-5775C-class (Broadwell)",
+        die=die,
+        package=mobile_package(pdn, name="broadwell_gated_pkg"),
+        tdp_w=tdp_w,
+    )
+
+
+def sku_descriptions() -> Tuple[SkuDescription, SkuDescription]:
+    """Datasheet rows for the two evaluated Skylake SKUs (paper Table 2)."""
+    return (
+        SkuDescription(
+            name="i7-6700K",
+            segment="Skylake-S (high-end desktop)",
+            package="LGA1151",
+            core_count=4,
+            core_frequency_range_ghz=(0.8, 4.2),
+            graphics_frequency_range_mhz=(300.0, 1150.0),
+            llc_mb=8.0,
+            tdp_range_w=(35.0, 91.0),
+            process_nm=14,
+        ),
+        SkuDescription(
+            name="i7-6920HQ",
+            segment="Skylake-H (high-end mobile)",
+            package="BGA1440",
+            core_count=4,
+            core_frequency_range_ghz=(0.8, 4.2),
+            graphics_frequency_range_mhz=(300.0, 1150.0),
+            llc_mb=8.0,
+            tdp_range_w=(35.0, 91.0),
+            process_nm=14,
+        ),
+    )

@@ -1,0 +1,84 @@
+"""Uncore model: LLC, ring interconnect, system agent, and memory IO.
+
+The uncore matters to the reproduction in two ways: it adds a mostly
+frequency-independent power floor that eats into the TDP budget (making the
+35 W configurations thermally tight), and its progressive shut-down is what
+distinguishes the deeper package C-states of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import ensure_non_negative, ensure_positive
+
+
+@dataclass(frozen=True)
+class Uncore:
+    """Shared uncore of the client die.
+
+    Parameters
+    ----------
+    llc_mb:
+        Last-level-cache capacity in megabytes (8 MB on the evaluated parts).
+    active_power_w:
+        Power of the uncore while any core or the graphics engine is active
+        (package C0): ring, LLC, memory controller and DDR IO.
+    memory_active_extra_w:
+        Additional power when the workload is memory-intensive.
+    c2_power_w .. c8_power_w:
+        Uncore power at progressively deeper package C-states, following the
+        shut-down steps of Table 1 (LLC flushed/off, DRAM in self-refresh,
+        clock generators off, IO/memory domains power-gated).
+    """
+
+    llc_mb: float = 8.0
+    active_power_w: float = 6.0
+    memory_active_extra_w: float = 1.8
+    c2_power_w: float = 2.4
+    c3_power_w: float = 1.1
+    c6_power_w: float = 0.55
+    c7_power_w: float = 0.08
+    c8_power_w: float = 0.08
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.llc_mb, "llc_mb")
+        ensure_non_negative(self.active_power_w, "active_power_w")
+        ensure_non_negative(self.memory_active_extra_w, "memory_active_extra_w")
+        powers = [
+            self.c2_power_w,
+            self.c3_power_w,
+            self.c6_power_w,
+            self.c7_power_w,
+            self.c8_power_w,
+        ]
+        for value, name in zip(
+            powers, ["c2_power_w", "c3_power_w", "c6_power_w", "c7_power_w", "c8_power_w"]
+        ):
+            ensure_non_negative(value, name)
+        for shallower, deeper in zip(powers, powers[1:]):
+            if deeper > shallower + 1e-12:
+                raise ValueError(
+                    "uncore package C-state powers must be non-increasing with depth"
+                )
+
+    def package_c0_power_w(self, memory_intensity: float = 0.0) -> float:
+        """Uncore power while the package is active."""
+        ensure_non_negative(memory_intensity, "memory_intensity")
+        return self.active_power_w + self.memory_active_extra_w * min(1.0, memory_intensity)
+
+    def package_idle_power_w(self, cstate_name: str) -> float:
+        """Uncore power at a package C-state (by name, e.g. ``"C7"``)."""
+        mapping = {
+            "C2": self.c2_power_w,
+            "C3": self.c3_power_w,
+            "C6": self.c6_power_w,
+            "C7": self.c7_power_w,
+            "C8": self.c8_power_w,
+            "C9": self.c8_power_w * 0.6,
+            "C10": self.c8_power_w * 0.3,
+        }
+        try:
+            return mapping[cstate_name.upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown package C-state {cstate_name!r}") from exc

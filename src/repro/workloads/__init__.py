@@ -1,0 +1,47 @@
+"""Workload substrate.
+
+The paper evaluates three classes of workloads on real hardware; this
+package provides descriptor-based models of each class that exercise the
+same decision paths in the firmware/simulation stack:
+
+* :mod:`repro.workloads.descriptors` — the descriptor dataclasses.
+* :mod:`repro.workloads.spec` — SPEC CPU2006 base (single-core) and rate
+  (all-core) workloads with per-benchmark frequency scalability and
+  activity, the knobs Section 7.1 says drive the gains.
+* :mod:`repro.workloads.graphics` — 3DMark-style graphics workloads.
+* :mod:`repro.workloads.energy` — ENERGY STAR and Intel Ready Mode (RMT)
+  idle-residency scenarios.
+* :mod:`repro.workloads.power_virus` — power-virus workloads used for
+  guardband and EDC sizing.
+* :mod:`repro.workloads.phases` — simple activity-phase traces for the
+  residency simulator.
+"""
+
+from repro.workloads.descriptors import (
+    CpuWorkload,
+    EnergyScenario,
+    GraphicsWorkload,
+    ResidencyPhase,
+)
+from repro.workloads.energy import energy_star_scenario, rmt_scenario
+from repro.workloads.graphics import three_dmark_suite
+from repro.workloads.power_virus import power_virus_workload
+from repro.workloads.spec import (
+    spec_cpu2006_base_suite,
+    spec_cpu2006_rate_suite,
+    spec_cpu2006_suite,
+)
+
+__all__ = [
+    "CpuWorkload",
+    "EnergyScenario",
+    "GraphicsWorkload",
+    "ResidencyPhase",
+    "energy_star_scenario",
+    "rmt_scenario",
+    "three_dmark_suite",
+    "power_virus_workload",
+    "spec_cpu2006_base_suite",
+    "spec_cpu2006_rate_suite",
+    "spec_cpu2006_suite",
+]

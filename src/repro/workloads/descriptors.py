@@ -1,0 +1,185 @@
+"""Workload descriptor types.
+
+Workloads are described by the handful of properties that determine how the
+paper's mechanisms act on them:
+
+* CPU workloads: how many cores they keep busy, how much dynamic
+  capacitance they exercise, how memory-bound they are, and — decisive for
+  Fig. 7 — how their performance scales with core frequency.
+* Graphics workloads: how graphics-frequency-scalable they are and how much
+  CPU support they need.
+* Energy scenarios: how long the system sits in each idle mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_in_range, ensure_positive
+
+
+@dataclass(frozen=True)
+class CpuWorkload:
+    """A CPU-bound workload (one SPEC benchmark in base or rate mode).
+
+    Parameters
+    ----------
+    name:
+        Benchmark name, e.g. ``"416.gamess"``.
+    active_cores:
+        Cores kept busy (1 for SPEC base, all cores for SPEC rate).
+    activity:
+        Cdyn fraction exercised (1.0 == power-virus).
+    memory_intensity:
+        0..1; how much of the time the workload stresses DRAM.
+    frequency_scalability:
+        Fraction of runtime that scales with core frequency at the reference
+        frequency (1.0 == perfectly core-bound).  Performance follows the
+        standard two-component model: ``time(f) = scalable / f + flat``.
+    reference_frequency_hz:
+        Frequency at which ``frequency_scalability`` was characterised.
+    category:
+        "int" or "fp", used for Fig. 3-style per-category averages.
+    """
+
+    name: str
+    active_cores: int
+    activity: float
+    memory_intensity: float
+    frequency_scalability: float
+    reference_frequency_hz: float = 3.5e9
+    category: str = "int"
+
+    def __post_init__(self) -> None:
+        if self.active_cores < 1:
+            raise ConfigurationError("active_cores must be >= 1")
+        ensure_in_range(self.activity, 0.0, 1.0, "activity")
+        ensure_in_range(self.memory_intensity, 0.0, 1.0, "memory_intensity")
+        ensure_in_range(self.frequency_scalability, 0.0, 1.0, "frequency_scalability")
+        ensure_positive(self.reference_frequency_hz, "reference_frequency_hz")
+        if self.category not in ("int", "fp"):
+            raise ConfigurationError("category must be 'int' or 'fp'")
+
+    # -- performance model -----------------------------------------------------------
+
+    def relative_performance(self, frequency_hz: float) -> float:
+        """Performance at *frequency_hz* relative to the reference frequency.
+
+        Runtime is split into a frequency-scalable part and a flat
+        (memory/IO-bound) part at the reference frequency; only the former
+        shrinks as frequency rises.  This reproduces the paper's observation
+        that 416.gamess/444.namd gain the most and 410.bwaves/433.milc gain
+        almost nothing.
+        """
+        ensure_positive(frequency_hz, "frequency_hz")
+        scalable = self.frequency_scalability
+        flat = 1.0 - scalable
+        relative_time = scalable * (self.reference_frequency_hz / frequency_hz) + flat
+        return 1.0 / relative_time
+
+    def speedup(self, from_frequency_hz: float, to_frequency_hz: float) -> float:
+        """Speedup when moving between two frequencies."""
+        return self.relative_performance(to_frequency_hz) / self.relative_performance(
+            from_frequency_hz
+        )
+
+    def with_active_cores(self, active_cores: int) -> "CpuWorkload":
+        """The same benchmark run on a different number of cores (rate mode)."""
+        return CpuWorkload(
+            name=self.name,
+            active_cores=active_cores,
+            activity=self.activity,
+            memory_intensity=self.memory_intensity,
+            frequency_scalability=self.frequency_scalability,
+            reference_frequency_hz=self.reference_frequency_hz,
+            category=self.category,
+        )
+
+
+@dataclass(frozen=True)
+class GraphicsWorkload:
+    """A graphics (3DMark-style) workload."""
+
+    name: str
+    graphics_activity: float = 0.9
+    graphics_scalability: float = 0.85
+    driver_cores: int = 1
+    driver_activity: float = 0.45
+    memory_intensity: float = 0.5
+    reference_graphics_frequency_hz: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        ensure_in_range(self.graphics_activity, 0.0, 1.0, "graphics_activity")
+        ensure_in_range(self.graphics_scalability, 0.0, 1.0, "graphics_scalability")
+        ensure_in_range(self.driver_activity, 0.0, 1.0, "driver_activity")
+        ensure_in_range(self.memory_intensity, 0.0, 1.0, "memory_intensity")
+        if self.driver_cores < 1:
+            raise ConfigurationError("driver_cores must be >= 1")
+        ensure_positive(
+            self.reference_graphics_frequency_hz, "reference_graphics_frequency_hz"
+        )
+
+    def relative_fps(self, graphics_frequency_hz: float) -> float:
+        """Frames-per-second metric relative to the reference frequency."""
+        ensure_positive(graphics_frequency_hz, "graphics_frequency_hz")
+        scalable = self.graphics_scalability
+        flat = 1.0 - scalable
+        relative_time = (
+            scalable * (self.reference_graphics_frequency_hz / graphics_frequency_hz)
+            + flat
+        )
+        return 1.0 / relative_time
+
+
+@dataclass(frozen=True)
+class ResidencyPhase:
+    """One phase of an energy-efficiency scenario."""
+
+    name: str
+    fraction: float
+    mode: str  # "active", "package_idle", "sleep", or "off"
+    package_cstate: str = "C7"
+    active_power_hint_w: float = 0.0
+
+    _VALID_MODES = ("active", "package_idle", "sleep", "off")
+
+    def __post_init__(self) -> None:
+        ensure_in_range(self.fraction, 0.0, 1.0, "fraction")
+        if self.mode not in self._VALID_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {self._VALID_MODES}, got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class EnergyScenario:
+    """An energy-efficiency scenario: a weighted mix of residency phases.
+
+    Parameters
+    ----------
+    name:
+        Scenario name ("ENERGY STAR", "RMT").
+    phases:
+        Phases whose fractions must sum to 1.
+    average_power_limit_w:
+        The pass/fail limit the scenario's benchmark imposes on average
+        processor power (the horizontal limit lines of Fig. 10).
+    """
+
+    name: str
+    phases: Tuple[ResidencyPhase, ...]
+    average_power_limit_w: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.average_power_limit_w, "average_power_limit_w")
+        total = sum(phase.fraction for phase in self.phases)
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"phase fractions must sum to 1.0, got {total:.6f}"
+            )
+
+    def phase_names(self) -> List[str]:
+        """Names of the phases in order."""
+        return [phase.name for phase in self.phases]

@@ -1,0 +1,62 @@
+"""3DMark-style graphics workload descriptors.
+
+The paper evaluates DarkGates' graphics impact with 3DMark (Fig. 9).  What
+matters for the reproduction is only that the workloads are heavily
+graphics-frequency-scalable, keep one CPU core lightly busy running the
+driver, and stress memory moderately — that is what routes their fate
+through the power-budget manager.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.descriptors import GraphicsWorkload
+
+
+def three_dmark_suite() -> List[GraphicsWorkload]:
+    """The 3DMark-style graphics tests used for the Fig. 9 reproduction."""
+    return [
+        GraphicsWorkload(
+            name="3dmark.cloud_gate_gt1",
+            graphics_activity=0.88,
+            graphics_scalability=0.86,
+            driver_activity=0.42,
+            memory_intensity=0.45,
+        ),
+        GraphicsWorkload(
+            name="3dmark.cloud_gate_gt2",
+            graphics_activity=0.92,
+            graphics_scalability=0.88,
+            driver_activity=0.45,
+            memory_intensity=0.50,
+        ),
+        GraphicsWorkload(
+            name="3dmark.sky_diver_gt1",
+            graphics_activity=0.90,
+            graphics_scalability=0.84,
+            driver_activity=0.48,
+            memory_intensity=0.55,
+        ),
+        GraphicsWorkload(
+            name="3dmark.sky_diver_gt2",
+            graphics_activity=0.93,
+            graphics_scalability=0.87,
+            driver_activity=0.50,
+            memory_intensity=0.60,
+        ),
+        GraphicsWorkload(
+            name="3dmark.fire_strike_gt1",
+            graphics_activity=0.95,
+            graphics_scalability=0.90,
+            driver_activity=0.40,
+            memory_intensity=0.65,
+        ),
+        GraphicsWorkload(
+            name="3dmark.fire_strike_gt2",
+            graphics_activity=0.96,
+            graphics_scalability=0.91,
+            driver_activity=0.42,
+            memory_intensity=0.70,
+        ),
+    ]

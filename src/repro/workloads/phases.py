@@ -1,0 +1,99 @@
+"""Activity-phase traces.
+
+A phase trace is a time-weighted sequence of activity levels that the
+residency simulator replays against a processor configuration.  It is the
+generalisation underlying the energy scenarios: each phase pins the system
+in one mode (active at a given demand, a package idle state, sleep, or off)
+for a fraction of the observation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_positive
+from repro.pmu.dvfs import CpuDemand
+
+
+@dataclass(frozen=True)
+class TracePhase:
+    """One timed phase of a trace."""
+
+    duration_s: float
+    demand: Optional[CpuDemand]  # None == fully idle
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.duration_s, "duration_s")
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no core is executing during this phase."""
+        return self.demand is None
+
+
+@dataclass(frozen=True)
+class PhaseTrace:
+    """A sequence of timed phases."""
+
+    name: str
+    phases: Tuple[TracePhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("a trace needs at least one phase")
+
+    @property
+    def duration_s(self) -> float:
+        """Total trace duration."""
+        return sum(phase.duration_s for phase in self.phases)
+
+    def idle_fraction(self) -> float:
+        """Fraction of the trace spent fully idle."""
+        idle = sum(phase.duration_s for phase in self.phases if phase.is_idle)
+        return idle / self.duration_s
+
+    def labels(self) -> List[str]:
+        """Labels of the phases in order."""
+        return [phase.label for phase in self.phases]
+
+
+def bursty_idle_trace(
+    name: str = "bursty_idle",
+    burst_duration_s: float = 0.01,
+    idle_duration_s: float = 0.99,
+    repetitions: int = 10,
+    burst_demand: Optional[CpuDemand] = None,
+) -> PhaseTrace:
+    """A trace alternating short compute bursts with long idle periods.
+
+    This is the shape of the RMT / connected-standby style workloads: the
+    processor wakes for about 1 % of the time and idles for the rest.
+    """
+    if repetitions < 1:
+        raise ConfigurationError("repetitions must be >= 1")
+    demand = burst_demand or CpuDemand(active_cores=1, activity=0.4, memory_intensity=0.2)
+    phases: List[TracePhase] = []
+    for index in range(repetitions):
+        phases.append(
+            TracePhase(duration_s=burst_duration_s, demand=demand, label=f"burst{index}")
+        )
+        phases.append(
+            TracePhase(duration_s=idle_duration_s, demand=None, label=f"idle{index}")
+        )
+    return PhaseTrace(name=name, phases=tuple(phases))
+
+
+def sustained_compute_trace(
+    name: str = "sustained_compute",
+    duration_s: float = 60.0,
+    demand: Optional[CpuDemand] = None,
+) -> PhaseTrace:
+    """A trace of one long fully-active phase (a SPEC-style run)."""
+    resolved = demand or CpuDemand(active_cores=4, activity=0.65, memory_intensity=0.3)
+    return PhaseTrace(
+        name=name,
+        phases=(TracePhase(duration_s=duration_s, demand=resolved, label="compute"),),
+    )

@@ -1,0 +1,41 @@
+"""Power-virus workloads.
+
+A power-virus is a synthetic instruction stream that exercises the maximum
+dynamic capacitance a core can draw (paper Fig. 2).  It is never a shipping
+workload; the firmware uses it for guardband sizing, EDC checks, and the
+multi-level virus scheme.  The descriptor here lets the simulation engine
+and the tests exercise the worst-case corner explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.descriptors import CpuWorkload
+
+
+def power_virus_workload(active_cores: int = 4) -> CpuWorkload:
+    """A power-virus running on *active_cores* cores."""
+    if active_cores < 1:
+        raise ConfigurationError("active_cores must be >= 1")
+    return CpuWorkload(
+        name=f"power_virus_{active_cores}c",
+        active_cores=active_cores,
+        activity=1.0,
+        memory_intensity=0.3,
+        frequency_scalability=1.0,
+        category="int",
+    )
+
+
+def tdp_sizing_workload(active_cores: int = 4) -> CpuWorkload:
+    """The "maximum theoretical load, but not a power-virus" TDP workload."""
+    if active_cores < 1:
+        raise ConfigurationError("active_cores must be >= 1")
+    return CpuWorkload(
+        name=f"tdp_workload_{active_cores}c",
+        active_cores=active_cores,
+        activity=0.80,
+        memory_intensity=0.4,
+        frequency_scalability=0.95,
+        category="int",
+    )

@@ -1,0 +1,129 @@
+"""SPEC CPU2006 workload descriptors.
+
+The paper's Fig. 7 shows that the DarkGates gain of each SPEC CPU2006
+benchmark is "positively correlated with the performance scalability of the
+running workload with CPU frequency": highly scalable benchmarks such as
+416.gamess and 444.namd gain the most (up to 8.1 %), memory-bound ones such
+as 410.bwaves and 433.milc gain almost nothing.
+
+The per-benchmark ``frequency_scalability`` values below encode that
+published knowledge: they follow the well-known memory-boundedness of each
+benchmark (compute-bound FP codes near 1.0, memory-streaming codes near 0).
+``activity`` (Cdyn fraction) loosely tracks IPC/vector intensity and
+``memory_intensity`` tracks DRAM traffic.  Absolute SPEC scores are not
+modelled — only relative performance versus frequency, which is all the
+reproduction needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.descriptors import CpuWorkload
+
+#: name -> (category, frequency_scalability, activity, memory_intensity)
+_SPEC_CPU2006_TABLE: Dict[str, tuple[str, float, float, float]] = {
+    # --- SPECint ---------------------------------------------------------------
+    "400.perlbench": ("int", 0.82, 0.66, 0.15),
+    "401.bzip2": ("int", 0.68, 0.62, 0.30),
+    "403.gcc": ("int", 0.55, 0.60, 0.45),
+    "429.mcf": ("int", 0.12, 0.45, 0.90),
+    "445.gobmk": ("int", 0.80, 0.64, 0.15),
+    "456.hmmer": ("int", 0.90, 0.72, 0.08),
+    "458.sjeng": ("int", 0.84, 0.66, 0.10),
+    "462.libquantum": ("int", 0.10, 0.50, 0.95),
+    "464.h264ref": ("int", 0.86, 0.72, 0.12),
+    "471.omnetpp": ("int", 0.30, 0.52, 0.70),
+    "473.astar": ("int", 0.48, 0.56, 0.50),
+    "483.xalancbmk": ("int", 0.45, 0.58, 0.55),
+    # --- SPECfp ----------------------------------------------------------------
+    "410.bwaves": ("fp", 0.06, 0.55, 0.95),
+    "416.gamess": ("fp", 0.97, 0.74, 0.05),
+    "433.milc": ("fp", 0.08, 0.52, 0.92),
+    "434.zeusmp": ("fp", 0.55, 0.62, 0.45),
+    "435.gromacs": ("fp", 0.88, 0.72, 0.10),
+    "436.cactusADM": ("fp", 0.40, 0.60, 0.60),
+    "437.leslie3d": ("fp", 0.25, 0.58, 0.75),
+    "444.namd": ("fp", 0.96, 0.74, 0.05),
+    "447.dealII": ("fp", 0.78, 0.68, 0.20),
+    "450.soplex": ("fp", 0.30, 0.54, 0.70),
+    "453.povray": ("fp", 0.95, 0.72, 0.04),
+    "454.calculix": ("fp", 0.90, 0.74, 0.10),
+    "459.GemsFDTD": ("fp", 0.20, 0.56, 0.80),
+    "465.tonto": ("fp", 0.85, 0.70, 0.15),
+    "470.lbm": ("fp", 0.15, 0.58, 0.90),
+    "481.wrf": ("fp", 0.60, 0.64, 0.40),
+    "482.sphinx3": ("fp", 0.65, 0.62, 0.35),
+}
+
+
+def spec_benchmark_names() -> List[str]:
+    """All modelled SPEC CPU2006 benchmark names."""
+    return list(_SPEC_CPU2006_TABLE)
+
+
+def spec_benchmark(name: str, active_cores: int = 1) -> CpuWorkload:
+    """Build the descriptor of one SPEC CPU2006 benchmark.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (``"416.gamess"``).
+    active_cores:
+        1 for base (speed) mode; the machine's core count for rate mode.
+    """
+    try:
+        category, scalability, activity, memory = _SPEC_CPU2006_TABLE[name]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown SPEC CPU2006 benchmark {name!r}") from exc
+    return CpuWorkload(
+        name=name,
+        active_cores=active_cores,
+        activity=activity,
+        memory_intensity=memory,
+        frequency_scalability=scalability,
+        category=category,
+    )
+
+
+def spec_cpu2006_suite(
+    active_cores: int = 1, category: Optional[str] = None
+) -> List[CpuWorkload]:
+    """The full SPEC CPU2006 suite as workload descriptors.
+
+    Parameters
+    ----------
+    active_cores:
+        Cores used per benchmark (1 == base mode).
+    category:
+        Restrict to ``"int"`` or ``"fp"``; None returns both.
+    """
+    if category is not None and category not in ("int", "fp"):
+        raise ConfigurationError("category must be 'int', 'fp', or None")
+    suite = []
+    for name, (cat, _, _, _) in _SPEC_CPU2006_TABLE.items():
+        if category is not None and cat != category:
+            continue
+        suite.append(spec_benchmark(name, active_cores))
+    return suite
+
+
+def spec_cpu2006_base_suite(category: Optional[str] = None) -> List[CpuWorkload]:
+    """SPEC CPU2006 in base (single-core) mode."""
+    return spec_cpu2006_suite(active_cores=1, category=category)
+
+
+def spec_cpu2006_rate_suite(
+    core_count: int = 4, category: Optional[str] = None
+) -> List[CpuWorkload]:
+    """SPEC CPU2006 in rate (all-core copies) mode."""
+    if core_count < 1:
+        raise ConfigurationError("core_count must be >= 1")
+    return spec_cpu2006_suite(active_cores=core_count, category=category)
+
+
+def average_scalability(category: Optional[str] = None) -> float:
+    """Average frequency scalability across the (sub)suite."""
+    suite = spec_cpu2006_suite(category=category)
+    return sum(w.frequency_scalability for w in suite) / len(suite)

@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+The guardband model runs an AC sweep of the PDN the first time it is asked
+for a guardband, so system-level objects are cached at session scope to keep
+the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.darkgates import SystemComparison, baseline_system, darkgates_system
+from repro.pdn.ladder import PdnConfiguration
+
+
+@pytest.fixture(scope="session")
+def gated_pdn() -> PdnConfiguration:
+    """The default (power-gates enabled) PDN configuration."""
+    return PdnConfiguration()
+
+
+@pytest.fixture(scope="session")
+def bypassed_pdn(gated_pdn: PdnConfiguration) -> PdnConfiguration:
+    """The bypassed (DarkGates) PDN configuration."""
+    return gated_pdn.with_bypass()
+
+
+@pytest.fixture(scope="session")
+def comparison_91w() -> SystemComparison:
+    """DarkGates-versus-baseline comparison at 91 W."""
+    return SystemComparison(tdp_w=91.0)
+
+
+@pytest.fixture(scope="session")
+def comparison_35w() -> SystemComparison:
+    """DarkGates-versus-baseline comparison at 35 W."""
+    return SystemComparison(tdp_w=35.0)
+
+
+@pytest.fixture(scope="session")
+def darkgates_91w():
+    """The DarkGates firmware configuration at 91 W."""
+    return darkgates_system(91.0)
+
+
+@pytest.fixture(scope="session")
+def baseline_91w():
+    """The baseline firmware configuration at 91 W."""
+    return baseline_system(91.0)

@@ -1,0 +1,233 @@
+"""Unit tests for PDN elements, decap banks, power-gates, and the VR model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ConstraintViolation
+from repro.pdn.decap import (
+    CapacitorBank,
+    board_bulk_bank,
+    die_mim_bank,
+    package_decap_bank,
+)
+from repro.pdn.elements import Capacitor, Inductor, Resistor
+from repro.pdn.powergate import PowerGate
+from repro.pdn.vr import VoltageRegulator
+
+
+# -- resistor ---------------------------------------------------------------------------
+
+
+def test_resistor_admittance_is_frequency_independent():
+    resistor = Resistor(resistance_ohm=2.0)
+    assert resistor.admittance(1e3) == resistor.admittance(1e8)
+    assert resistor.admittance(1e6) == pytest.approx(0.5 + 0j)
+
+
+def test_resistor_dc_resistance():
+    assert Resistor(resistance_ohm=1.8e-3).dc_resistance() == pytest.approx(1.8e-3)
+
+
+def test_resistor_rejects_non_positive():
+    with pytest.raises(ConfigurationError):
+        Resistor(resistance_ohm=0.0)
+
+
+# -- inductor ---------------------------------------------------------------------------
+
+
+def test_inductor_admittance_falls_with_frequency():
+    inductor = Inductor(inductance_h=1e-9)
+    low = abs(inductor.admittance(2 * math.pi * 1e5))
+    high = abs(inductor.admittance(2 * math.pi * 1e8))
+    assert low > high
+
+
+def test_inductor_with_dcr_has_finite_dc_admittance():
+    inductor = Inductor(inductance_h=1e-9, series_resistance_ohm=1e-3)
+    assert abs(inductor.admittance(0.0)) == pytest.approx(1000.0)
+
+
+def test_ideal_inductor_is_dc_short():
+    inductor = Inductor(inductance_h=1e-9)
+    assert abs(inductor.admittance(0.0)) > 1e11
+    assert inductor.dc_resistance() == 0.0
+
+
+def test_inductor_rejects_negative_dcr():
+    with pytest.raises(ConfigurationError):
+        Inductor(inductance_h=1e-9, series_resistance_ohm=-1.0)
+
+
+# -- capacitor ---------------------------------------------------------------------------
+
+
+def test_capacitor_blocks_dc():
+    capacitor = Capacitor(capacitance_f=1e-6)
+    assert capacitor.admittance(0.0) == 0.0
+    assert capacitor.dc_resistance() == math.inf
+
+
+def test_capacitor_admittance_rises_below_resonance():
+    capacitor = Capacitor(capacitance_f=1e-6, esr_ohm=1e-3, esl_h=1e-12)
+    low = abs(capacitor.admittance(2 * math.pi * 1e4))
+    mid = abs(capacitor.admittance(2 * math.pi * 1e6))
+    assert mid > low
+
+
+def test_capacitor_self_resonance():
+    capacitor = Capacitor(capacitance_f=1e-6, esl_h=1e-9)
+    expected = 1.0 / (2 * math.pi * math.sqrt(1e-6 * 1e-9))
+    assert capacitor.self_resonance_hz() == pytest.approx(expected)
+
+
+def test_ideal_capacitor_has_infinite_self_resonance():
+    assert Capacitor(capacitance_f=1e-6).self_resonance_hz() == math.inf
+
+
+def test_capacitor_impedance_at_resonance_equals_esr():
+    capacitor = Capacitor(capacitance_f=1e-6, esr_ohm=5e-3, esl_h=1e-9)
+    omega = 2 * math.pi * capacitor.self_resonance_hz()
+    impedance = 1.0 / capacitor.admittance(omega)
+    assert abs(impedance) == pytest.approx(5e-3, rel=1e-6)
+
+
+# -- capacitor banks ----------------------------------------------------------------------
+
+
+def test_bank_aggregates_capacitance_and_divides_parasitics():
+    bank = CapacitorBank(
+        name="test", unit_capacitance_f=1e-6, unit_esr_ohm=10e-3, unit_esl_h=1e-9, count=10
+    )
+    assert bank.total_capacitance_f == pytest.approx(10e-6)
+    assert bank.effective_esr_ohm == pytest.approx(1e-3)
+    assert bank.effective_esl_h == pytest.approx(0.1e-9)
+
+
+def test_bank_as_capacitor_matches_aggregates():
+    bank = package_decap_bank()
+    lumped = bank.as_capacitor()
+    assert lumped.capacitance_f == pytest.approx(bank.total_capacitance_f)
+    assert lumped.esr_ohm == pytest.approx(bank.effective_esr_ohm)
+
+
+def test_bank_split_reduces_count():
+    bank = die_mim_bank(count=4000)
+    split = bank.split(4)
+    assert split.count == 1000
+    assert split.total_capacitance_f == pytest.approx(bank.total_capacitance_f / 4)
+
+
+def test_bank_split_never_drops_below_one_unit():
+    bank = CapacitorBank(
+        name="tiny", unit_capacitance_f=1e-6, unit_esr_ohm=1e-3, unit_esl_h=1e-12, count=2
+    )
+    assert bank.split(10).count == 1
+
+
+def test_bank_scaled():
+    bank = board_bulk_bank(count=10)
+    assert bank.scaled(0.5).count == 5
+    assert bank.scaled(2.0).count == 20
+
+
+def test_bank_rejects_zero_count():
+    with pytest.raises(ValueError):
+        CapacitorBank(
+            name="bad", unit_capacitance_f=1e-6, unit_esr_ohm=0.0, unit_esl_h=0.0, count=0
+        )
+
+
+def test_default_banks_have_sensible_ordering():
+    # Board bulk >> package decap >> die MIM unit values, but die MIM has the
+    # lowest inductance (it sits on the die).
+    board = board_bulk_bank()
+    package = package_decap_bank()
+    die = die_mim_bank()
+    assert board.total_capacitance_f > package.total_capacitance_f > die.total_capacitance_f
+    assert die.effective_esl_h < package.effective_esl_h < board.effective_esl_h
+
+
+# -- power gate ---------------------------------------------------------------------------
+
+
+def test_power_gate_sized_for_core_area_tradeoff():
+    small = PowerGate.sized_for_core("pg", core_area_mm2=8.5, area_overhead_fraction=0.02)
+    large = PowerGate.sized_for_core("pg", core_area_mm2=8.5, area_overhead_fraction=0.08)
+    assert small.area_mm2 < large.area_mm2
+    assert small.on_resistance_ohm > large.on_resistance_ohm
+
+
+def test_power_gate_resistance_inverse_to_area():
+    gate_a = PowerGate.sized_for_core("a", core_area_mm2=8.5, area_overhead_fraction=0.03)
+    gate_b = PowerGate.sized_for_core("b", core_area_mm2=8.5, area_overhead_fraction=0.06)
+    assert gate_a.on_resistance_ohm == pytest.approx(2 * gate_b.on_resistance_ohm, rel=1e-6)
+
+
+def test_power_gate_ir_drop():
+    gate = PowerGate(name="pg", on_resistance_ohm=0.5e-3, area_mm2=0.3)
+    assert gate.ir_drop_v(30.0) == pytest.approx(15e-3)
+
+
+def test_power_gate_residual_leakage():
+    gate = PowerGate(name="pg", on_resistance_ohm=0.5e-3, area_mm2=0.3)
+    assert gate.leakage_when_gated_w(1.0) == pytest.approx(gate.residual_leakage_fraction)
+    assert gate.leakage_when_gated_w(1.0) < 0.1
+
+
+def test_power_gate_wakeup_latency_in_nanoseconds_range():
+    gate = PowerGate.sized_for_core("pg", core_area_mm2=8.5)
+    assert 1e-9 <= gate.wakeup_latency_s <= 100e-9
+
+
+def test_power_gate_area_overhead_fraction():
+    gate = PowerGate.sized_for_core("pg", core_area_mm2=10.0, area_overhead_fraction=0.05)
+    assert gate.area_overhead_fraction(10.0) == pytest.approx(0.05)
+
+
+def test_power_gate_branch_element_is_resistor():
+    gate = PowerGate.sized_for_core("pg", core_area_mm2=8.5)
+    assert gate.as_branch_element().resistance_ohm == pytest.approx(gate.on_resistance_ohm)
+
+
+# -- voltage regulator -----------------------------------------------------------------------
+
+
+def test_vr_loadline_droop():
+    vr = VoltageRegulator(name="mbvr", loadline_ohm=2e-3)
+    assert vr.output_voltage(1.2, 50.0) == pytest.approx(1.1)
+
+
+def test_vr_required_setpoint_inverts_loadline():
+    vr = VoltageRegulator(name="mbvr", loadline_ohm=1.8e-3)
+    setpoint = vr.required_setpoint(1.05, 40.0)
+    assert vr.output_voltage(setpoint, 40.0) == pytest.approx(1.05)
+
+
+def test_vr_loadline_in_datasheet_range():
+    vr = VoltageRegulator(name="mbvr", loadline_ohm=1.8e-3)
+    assert 1.6e-3 <= vr.loadline_ohm <= 2.4e-3
+
+
+def test_vr_edc_enforcement():
+    vr = VoltageRegulator(name="mbvr", loadline_ohm=2e-3, edc_a=140.0)
+    with pytest.raises(ConstraintViolation):
+        vr.check_current(150.0)
+    assert vr.check_current(139.0) == pytest.approx(139.0)
+
+
+def test_vr_tdc_enforcement():
+    vr = VoltageRegulator(name="mbvr", loadline_ohm=2e-3, tdc_a=100.0)
+    with pytest.raises(ConstraintViolation):
+        vr.check_sustained_current(101.0)
+
+
+def test_vr_setpoint_clamping():
+    vr = VoltageRegulator(name="mbvr", loadline_ohm=2e-3, vmax_v=1.52, min_voltage_v=0.55)
+    assert vr.clamp_setpoint(2.0) == pytest.approx(1.52)
+    assert vr.clamp_setpoint(0.1) == pytest.approx(0.55)
+    assert vr.is_setpoint_allowed(1.0)
+    assert not vr.is_setpoint_allowed(1.6)

@@ -1,0 +1,279 @@
+"""Unit tests for the netlist, AC analysis, ladder builder, and droop simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.pdn.ac import ACAnalysis
+from repro.pdn.elements import Capacitor, Inductor, Resistor
+from repro.pdn.droop import DroopSimulator
+from repro.pdn.ladder import LadderStage, PdnConfiguration, SkylakePdnBuilder, core_node
+from repro.pdn.netlist import GROUND, Netlist
+
+
+# -- netlist ------------------------------------------------------------------------------
+
+
+def _voltage_divider() -> Netlist:
+    netlist = Netlist()
+    netlist.add("r1", "in", "mid", Resistor(1.0))
+    netlist.add("r2", "mid", GROUND, Resistor(1.0))
+    return netlist
+
+
+def test_netlist_node_bookkeeping():
+    netlist = _voltage_divider()
+    assert netlist.node_count() == 2
+    assert set(netlist.nodes) == {"in", "mid"}
+    assert netlist.has_node(GROUND)
+    assert not netlist.has_node("elsewhere")
+
+
+def test_netlist_rejects_self_loop():
+    netlist = Netlist()
+    with pytest.raises(ConfigurationError):
+        netlist.add("bad", "a", "a", Resistor(1.0))
+
+
+def test_netlist_rejects_duplicate_branch_names():
+    netlist = Netlist()
+    netlist.add("r", "a", GROUND, Resistor(1.0))
+    with pytest.raises(ConfigurationError):
+        netlist.add("r", "b", GROUND, Resistor(1.0))
+
+
+def test_netlist_solve_series_resistors():
+    netlist = _voltage_divider()
+    voltages = netlist.solve_node_voltages(0.0, {"in": 1.0})
+    # 1 A into two series 1-ohm resistors to ground: 2 V at "in", 1 V at "mid".
+    assert voltages["in"].real == pytest.approx(2.0)
+    assert voltages["mid"].real == pytest.approx(1.0)
+
+
+def test_netlist_dc_path_resistance():
+    netlist = _voltage_divider()
+    assert netlist.dc_path_resistance("in", GROUND) == pytest.approx(2.0)
+    assert netlist.dc_path_resistance("in", "mid") == pytest.approx(1.0)
+
+
+def test_netlist_singular_matrix_raises():
+    netlist = Netlist()
+    # A capacitor to ground is an open circuit at DC: the node floats.
+    netlist.add("c", "floating", GROUND, Capacitor(1e-9))
+    with pytest.raises(SimulationError):
+        netlist.solve_node_voltages(0.0, {"floating": 1.0})
+
+
+def test_netlist_branches_at():
+    netlist = _voltage_divider()
+    assert {b.name for b in netlist.branches_at("mid")} == {"r1", "r2"}
+
+
+def test_netlist_merge_nodes_drops_internal_branches():
+    netlist = Netlist()
+    netlist.add("supply", "a", GROUND, Resistor(1.0))
+    netlist.add("gate", "a", "b", Resistor(0.5))
+    netlist.add("load", "b", GROUND, Resistor(2.0))
+    merged = netlist.merge_nodes("a", ["b"])
+    names = [b.name for b in merged.branches]
+    assert "gate" not in names
+    assert merged.dc_path_resistance("a", GROUND) == pytest.approx(2.0 / 3.0)
+
+
+def test_netlist_summary_rows():
+    netlist = _voltage_divider()
+    rows = netlist.summary()
+    assert ("r1", "in", "mid", "Resistor") in rows
+
+
+# -- AC analysis ----------------------------------------------------------------------------
+
+
+def test_ac_impedance_of_single_resistor():
+    netlist = Netlist()
+    netlist.add("r", "port", GROUND, Resistor(3.3))
+    analysis = ACAnalysis(netlist, "port")
+    assert abs(analysis.impedance_at(1e6)) == pytest.approx(3.3)
+
+
+def test_ac_rlc_resonance_peak():
+    # Parallel L-C to ground shows an anti-resonance peak at f0.
+    netlist = Netlist()
+    netlist.add("l", "port", GROUND, Inductor(10e-9, series_resistance_ohm=1e-3))
+    netlist.add("c", "port", GROUND, Capacitor(1e-6, esr_ohm=1e-3))
+    analysis = ACAnalysis(netlist, "port")
+    profile = analysis.sweep(start_hz=1e4, stop_hz=1e8, points_per_decade=60)
+    peak = profile.peak()
+    expected_f0 = 1.0 / (2 * 3.14159265 * (10e-9 * 1e-6) ** 0.5)
+    assert peak.frequency_hz == pytest.approx(expected_f0, rel=0.15)
+
+
+def test_ac_sweep_profile_shapes():
+    netlist = Netlist()
+    netlist.add("r", "port", GROUND, Resistor(1.0))
+    profile = ACAnalysis(netlist, "port").sweep(start_hz=1e5, stop_hz=1e7, points_per_decade=10)
+    assert len(profile.points) == len(profile.frequencies_hz())
+    assert profile.magnitudes_ohm().min() == pytest.approx(1.0)
+    assert profile.impedance_at(3e6) == pytest.approx(1.0)
+
+
+def test_ac_rejects_unknown_observation_node():
+    netlist = Netlist()
+    netlist.add("r", "port", GROUND, Resistor(1.0))
+    with pytest.raises(ConfigurationError):
+        ACAnalysis(netlist, "nonexistent")
+
+
+def test_ac_rejects_bad_sweep_bounds():
+    netlist = Netlist()
+    netlist.add("r", "port", GROUND, Resistor(1.0))
+    with pytest.raises(ConfigurationError):
+        ACAnalysis(netlist, "port").sweep(start_hz=1e7, stop_hz=1e6)
+
+
+def test_profile_ratio_requires_matching_grids():
+    netlist = Netlist()
+    netlist.add("r", "port", GROUND, Resistor(1.0))
+    analysis = ACAnalysis(netlist, "port")
+    a = analysis.sweep(points_per_decade=10)
+    b = analysis.sweep(points_per_decade=20)
+    with pytest.raises(ConfigurationError):
+        a.ratio_to(b)
+
+
+# -- Skylake ladder builder ----------------------------------------------------------------------
+
+
+def test_builder_gated_netlist_has_per_core_nodes(gated_pdn):
+    netlist = SkylakePdnBuilder(gated_pdn).build_netlist()
+    for index in range(gated_pdn.core_count):
+        assert netlist.has_node(core_node(index))
+
+
+def test_builder_bypassed_netlist_merges_core_domains(bypassed_pdn):
+    netlist = SkylakePdnBuilder(bypassed_pdn).build_netlist()
+    assert netlist.has_node(core_node(0))
+    assert not netlist.has_node(core_node(1))
+
+
+def test_builder_dc_resistance_lower_when_bypassed(gated_pdn, bypassed_pdn):
+    gated = SkylakePdnBuilder(gated_pdn)
+    bypassed = SkylakePdnBuilder(bypassed_pdn)
+    assert bypassed.dc_resistance_ohm() < gated.dc_resistance_ohm()
+    assert (
+        bypassed.dc_resistance_beyond_loadline_ohm()
+        < gated.dc_resistance_beyond_loadline_ohm()
+    )
+
+
+def test_builder_impedance_roughly_doubles_with_gates(gated_pdn, bypassed_pdn):
+    gated_builder = SkylakePdnBuilder(gated_pdn)
+    bypassed_builder = SkylakePdnBuilder(bypassed_pdn)
+    gated_profile = ACAnalysis(
+        gated_builder.build_netlist(), gated_builder.observation_node()
+    ).sweep(points_per_decade=20)
+    frequencies = [p.frequency_hz for p in gated_profile.points]
+    bypassed_profile = ACAnalysis(
+        bypassed_builder.build_netlist(), bypassed_builder.observation_node()
+    ).sweep(frequencies_hz=frequencies)
+    ratio = gated_profile.mean_ratio_to(bypassed_profile)
+    assert 1.5 <= ratio <= 3.0
+
+
+def test_builder_ladder_has_three_stages(gated_pdn):
+    ladder = SkylakePdnBuilder(gated_pdn).build_ladder()
+    assert [stage.name for stage in ladder] == ["vr_board", "package", "die"]
+
+
+def test_builder_bypassed_ladder_die_stage_has_more_capacitance(gated_pdn, bypassed_pdn):
+    gated_die = SkylakePdnBuilder(gated_pdn).build_ladder()[-1]
+    bypassed_die = SkylakePdnBuilder(bypassed_pdn).build_ladder()[-1]
+    assert bypassed_die.shunt_capacitance_f > gated_die.shunt_capacitance_f
+    assert bypassed_die.series_resistance_ohm < gated_die.series_resistance_ohm
+
+
+def test_configuration_with_bypass_round_trip(gated_pdn):
+    assert gated_pdn.with_bypass().bypassed
+    assert gated_pdn.with_bypass().with_gates().bypassed is False
+
+
+def test_configuration_effective_values_reflect_sharing(gated_pdn, bypassed_pdn):
+    assert (
+        bypassed_pdn.effective_package_resistance_ohm()
+        < gated_pdn.effective_package_resistance_ohm()
+    )
+    assert (
+        bypassed_pdn.effective_die_path_resistance_ohm()
+        < gated_pdn.effective_die_path_resistance_ohm()
+    )
+    assert bypassed_pdn.effective_die_mim().count > gated_pdn.effective_die_mim().count
+
+
+def test_configuration_rejects_bad_core_count():
+    with pytest.raises(ConfigurationError):
+        PdnConfiguration(core_count=0)
+
+
+# -- droop simulator ----------------------------------------------------------------------------
+
+
+def _simple_ladder() -> list[LadderStage]:
+    return [
+        LadderStage(
+            name="stage",
+            series_resistance_ohm=1e-3,
+            series_inductance_h=100e-12,
+            shunt_capacitance_f=10e-6,
+            shunt_esr_ohm=1e-3,
+        )
+    ]
+
+
+def test_droop_settles_to_ir_drop():
+    simulator = DroopSimulator(_simple_ladder(), nominal_voltage_v=1.0)
+    result = simulator.simulate_current_step(step_current_a=20.0, duration_s=5e-6)
+    # DC drop should converge to R * I = 20 mV.
+    assert result.settled_drop_v == pytest.approx(0.02, rel=0.05)
+
+
+def test_droop_worst_case_exceeds_dc_drop():
+    simulator = DroopSimulator(_simple_ladder(), nominal_voltage_v=1.0)
+    result = simulator.simulate_current_step(step_current_a=20.0, duration_s=5e-6)
+    assert result.worst_droop_v >= result.settled_drop_v
+    assert result.transient_overshoot_v >= 0.0
+
+
+def test_droop_skylake_gated_worse_than_bypassed(gated_pdn, bypassed_pdn):
+    gated = DroopSimulator(SkylakePdnBuilder(gated_pdn).build_ladder(), 1.0)
+    bypassed = DroopSimulator(SkylakePdnBuilder(bypassed_pdn).build_ladder(), 1.0)
+    step = dict(step_current_a=25.0, duration_s=3e-6, time_step_s=0.5e-9)
+    assert (
+        gated.simulate_current_step(**step).worst_droop_v
+        > bypassed.simulate_current_step(**step).worst_droop_v
+    )
+
+
+def test_droop_minimum_voltage_below_nominal():
+    simulator = DroopSimulator(_simple_ladder(), nominal_voltage_v=1.1)
+    result = simulator.simulate_current_step(step_current_a=10.0, duration_s=2e-6)
+    assert result.minimum_voltage_v() < 1.1
+
+
+def test_droop_profile_callable():
+    simulator = DroopSimulator(_simple_ladder(), nominal_voltage_v=1.0)
+    result = simulator.simulate_profile(
+        lambda t: 5.0 if t > 1e-7 else 0.0, duration_s=1e-6
+    )
+    assert result.load_voltage_v.shape == result.time_s.shape
+
+
+def test_droop_rejects_empty_ladder():
+    with pytest.raises(ConfigurationError):
+        DroopSimulator([], nominal_voltage_v=1.0)
+
+
+def test_droop_rejects_too_short_duration():
+    simulator = DroopSimulator(_simple_ladder(), nominal_voltage_v=1.0)
+    with pytest.raises(SimulationError):
+        simulator.simulate_current_step(step_current_a=1.0, duration_s=1e-10, time_step_s=1e-9)

@@ -1,0 +1,249 @@
+"""Unit tests for the PMU firmware substrate: V/F curves, DVFS, turbo, fuses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.pdn.guardband import GuardbandModel
+from repro.pdn.loadline import default_virus_table
+from repro.pmu.dvfs import CpuDemand, DvfsPolicy, LimitingFactor
+from repro.pmu.fuses import FuseSet, PowerDeliveryMode, firmware_area_overhead_fraction
+from repro.pmu.turbo import TurboTable
+from repro.pmu.vf_curve import VfCurve
+from repro.soc.skus import skylake_h_mobile, skylake_s_desktop
+
+
+def _vf_curve(bypassed: bool) -> VfCurve:
+    processor = skylake_s_desktop() if bypassed else skylake_h_mobile()
+    return VfCurve(
+        silicon=processor.die.vf_character,
+        guardband_model=GuardbandModel(processor.package.pdn),
+        virus_table=default_virus_table(processor.core_count),
+        frequency_grid=processor.die.core_frequency_grid,
+        vmax_v=processor.die.vmax_v,
+    )
+
+
+# -- fuses -------------------------------------------------------------------------------------
+
+
+def test_darkgates_desktop_fuses():
+    fuses = FuseSet.darkgates_desktop()
+    assert fuses.bypass_enabled
+    assert fuses.deepest_package_cstate == "C8"
+
+
+def test_legacy_desktop_fuses():
+    fuses = FuseSet.legacy_desktop()
+    assert not fuses.bypass_enabled
+    assert fuses.deepest_package_cstate == "C7"
+
+
+def test_mobile_fuses_support_c10():
+    assert FuseSet.mobile().deepest_package_cstate == "C10"
+
+
+def test_fuses_reject_unknown_cstate():
+    with pytest.raises(ConfigurationError):
+        FuseSet(power_delivery_mode=PowerDeliveryMode.NORMAL, deepest_package_cstate="C42")
+
+
+def test_firmware_area_overhead_below_paper_claim():
+    # Paper Section 5: 0.3 KB of firmware is below 0.004% of the die area.
+    assert firmware_area_overhead_fraction(122.0) < 0.00004 * 1.001
+
+
+# -- V/F curve ------------------------------------------------------------------------------------
+
+
+def test_vf_required_voltage_above_nominal():
+    curve = _vf_curve(bypassed=False)
+    point = curve.point(3.5e9, active_cores=1)
+    assert point.required_voltage_v > point.nominal_voltage_v
+    assert point.guardband_v > 0
+
+
+def test_vf_guardband_grows_with_active_cores():
+    curve = _vf_curve(bypassed=False)
+    assert curve.guardband_v(4) > curve.guardband_v(1)
+
+
+def test_vf_fmax_decreases_with_active_cores():
+    curve = _vf_curve(bypassed=False)
+    assert curve.fmax_hz(4) <= curve.fmax_hz(1)
+
+
+def test_vf_bypassed_fmax_higher_than_gated():
+    gated = _vf_curve(bypassed=False)
+    bypassed = _vf_curve(bypassed=True)
+    assert bypassed.fmax_hz(1) > gated.fmax_hz(1)
+    assert bypassed.fmax_hz(4) > gated.fmax_hz(4)
+
+
+def test_vf_gated_single_core_fmax_near_datasheet():
+    # The baseline part's Vmax-limited single-core turbo should land near the
+    # i7-6700K's 4.2 GHz datasheet value.
+    gated = _vf_curve(bypassed=False)
+    assert 3.8e9 <= gated.fmax_hz(1) <= 4.4e9
+
+
+def test_vf_fmax_is_on_grid():
+    curve = _vf_curve(bypassed=True)
+    assert curve.frequency_grid.contains(curve.fmax_hz(1))
+
+
+def test_vf_power_voltage_between_nominal_and_required():
+    curve = _vf_curve(bypassed=False)
+    frequency = 3.0e9
+    nominal = curve.point(frequency, 1).nominal_voltage_v
+    required = curve.required_voltage_v(frequency, 1)
+    power_voltage = curve.power_voltage_v(frequency, 1)
+    assert nominal < power_voltage <= required
+
+
+def test_vf_headroom_sign():
+    curve = _vf_curve(bypassed=False)
+    assert curve.headroom_v(1.0e9, 1) > 0
+    assert curve.headroom_v(5.0e9, 4) < 0
+
+
+def test_vf_curve_points_cover_grid():
+    curve = _vf_curve(bypassed=True)
+    points = curve.curve_points(1)
+    assert len(points) == len(curve.frequency_grid)
+
+
+def test_vf_fmax_collapses_when_guardband_exceeds_vmax():
+    curve = _vf_curve(bypassed=False)
+    assert curve.fmax_hz(1, vmax_v=0.1) == pytest.approx(curve.frequency_grid.min_hz)
+
+
+# -- DVFS -----------------------------------------------------------------------------------------
+
+
+def test_dvfs_demand_validation():
+    with pytest.raises(ConfigurationError):
+        CpuDemand(active_cores=0)
+    with pytest.raises(ConfigurationError):
+        CpuDemand(active_cores=1, activity=1.5)
+
+
+def test_dvfs_rejects_more_cores_than_processor():
+    processor = skylake_h_mobile()
+    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+    with pytest.raises(ConfigurationError):
+        policy.resolve(CpuDemand(active_cores=8))
+
+
+def test_dvfs_single_core_at_high_tdp_is_vmax_or_grid_limited():
+    processor = skylake_h_mobile(91.0)
+    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+    point = policy.resolve(CpuDemand(active_cores=1, activity=0.65))
+    assert point.limiting_factor in (LimitingFactor.VMAX, LimitingFactor.FREQUENCY_GRID)
+    assert point.package_power_w < 91.0
+
+
+def test_dvfs_all_cores_at_low_tdp_is_tdp_limited():
+    processor = skylake_h_mobile(35.0)
+    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+    point = policy.resolve(CpuDemand(active_cores=4, activity=0.65))
+    assert point.limiting_factor is LimitingFactor.TDP
+    assert point.package_power_w <= 35.0 + 1e-6
+
+
+def test_dvfs_frequency_monotonic_in_tdp():
+    frequencies = []
+    for tdp in (35.0, 65.0, 91.0):
+        processor = skylake_h_mobile(tdp)
+        policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+        point = policy.resolve(CpuDemand(active_cores=4, activity=0.65))
+        frequencies.append(point.frequency_hz)
+    assert frequencies == sorted(frequencies)
+
+
+def test_dvfs_lighter_workload_runs_at_least_as_fast():
+    processor = skylake_h_mobile(45.0)
+    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+    heavy = policy.resolve(CpuDemand(active_cores=4, activity=0.8))
+    light = policy.resolve(CpuDemand(active_cores=4, activity=0.45))
+    assert light.frequency_hz >= heavy.frequency_hz
+
+
+def test_dvfs_reported_voltage_respects_vmax():
+    processor = skylake_h_mobile(91.0)
+    curve = _vf_curve(False)
+    policy = DvfsPolicy(processor, curve, bypass_mode=False)
+    point = policy.resolve(CpuDemand(active_cores=1, activity=0.65))
+    assert point.voltage_v <= curve.vmax_v + 1e-9
+
+
+def test_dvfs_power_breakdown_sums_to_package_power():
+    processor = skylake_s_desktop(65.0)
+    policy = DvfsPolicy(processor, _vf_curve(True), bypass_mode=True)
+    point = policy.resolve(CpuDemand(active_cores=2, activity=0.6))
+    reconstructed = (
+        point.cores_power_w + point.idle_cores_power_w + point.uncore_power_w
+    )
+    assert point.package_power_w == pytest.approx(reconstructed + 0.05, abs=0.01)
+
+
+def test_dvfs_bypass_mode_has_idle_core_power():
+    curve = _vf_curve(True)
+    policy = DvfsPolicy(skylake_s_desktop(91.0), curve, bypass_mode=True)
+    point = policy.resolve(CpuDemand(active_cores=1, activity=0.65))
+    assert point.idle_cores_power_w > 0.1
+    gated_policy = DvfsPolicy(skylake_h_mobile(91.0), _vf_curve(False), bypass_mode=False)
+    gated_point = gated_policy.resolve(CpuDemand(active_cores=1, activity=0.65))
+    assert gated_point.idle_cores_power_w < 0.1
+
+
+def test_dvfs_package_power_helper_matches_resolution():
+    processor = skylake_h_mobile(45.0)
+    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+    demand = CpuDemand(active_cores=4, activity=0.65)
+    point = policy.resolve(demand)
+    assert policy.package_power_w(point.frequency_hz, demand) == pytest.approx(
+        point.package_power_w, rel=1e-6
+    )
+
+
+def test_dvfs_junction_temperature_below_tjmax():
+    processor = skylake_h_mobile(35.0)
+    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+    point = policy.resolve(CpuDemand(active_cores=4, activity=0.8))
+    assert point.junction_temperature_c <= processor.tjmax_c + 1e-6
+
+
+# -- turbo table ------------------------------------------------------------------------------------
+
+
+def test_turbo_table_from_vf_curve_monotonic():
+    curve = _vf_curve(False)
+    table = TurboTable.from_vf_curve(curve, core_count=4)
+    rows = table.rows()
+    frequencies = [f for _, f in rows]
+    assert frequencies == sorted(frequencies, reverse=True)
+    assert table.single_core_turbo_hz() >= table.all_core_turbo_hz()
+
+
+def test_turbo_table_lookup_beyond_core_count_uses_last_entry():
+    table = TurboTable({1: 4.2e9, 2: 4.0e9, 4: 3.8e9})
+    assert table.max_frequency_hz(3) == pytest.approx(3.8e9)
+    assert table.max_frequency_hz(6) == pytest.approx(3.8e9)
+
+
+def test_turbo_table_rejects_increasing_frequency():
+    with pytest.raises(ConfigurationError):
+        TurboTable({1: 3.0e9, 2: 3.5e9})
+
+
+def test_turbo_table_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        TurboTable({})
+
+
+def test_turbo_table_rejects_bad_lookup():
+    table = TurboTable({1: 4.0e9})
+    with pytest.raises(ConfigurationError):
+        table.max_frequency_hz(0)

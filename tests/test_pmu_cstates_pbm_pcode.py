@@ -1,0 +1,234 @@
+"""Unit tests for package C-states, the power-budget manager, and Pcode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.pmu.cstates import (
+    PACKAGE_CSTATE_TABLE,
+    PackageCState,
+    PackageCStateModel,
+    table1_rows,
+)
+from repro.pmu.dvfs import CpuDemand
+from repro.pmu.fuses import FuseSet
+from repro.pmu.pbm import GraphicsDemand, PowerBudgetManager
+from repro.pmu.pcode import Pcode
+from repro.soc.skus import skylake_h_mobile, skylake_s_desktop
+
+
+# -- package C-state definitions (Table 1) ------------------------------------------------------
+
+
+def test_table1_contains_all_states_of_the_paper():
+    names = [state.value for state in PACKAGE_CSTATE_TABLE]
+    assert names == ["C0", "C2", "C3", "C6", "C7", "C8", "C9", "C10"]
+
+
+def test_table1_rows_have_descriptions():
+    for state, description in table1_rows():
+        assert isinstance(state, str) and state.startswith("C")
+        assert len(description) > 20
+
+
+def test_core_vr_on_boundary_is_between_c7_and_c8():
+    assert PackageCState.C7.core_vr_on
+    assert not PackageCState.C8.core_vr_on
+    assert not PackageCState.C10.core_vr_on
+
+
+def test_cstate_depth_ordering():
+    assert PackageCState.C8.is_deeper_than(PackageCState.C7)
+    assert not PackageCState.C2.is_deeper_than(PackageCState.C6)
+
+
+def test_cstate_from_name():
+    assert PackageCState.from_name("c8") is PackageCState.C8
+    with pytest.raises(ConfigurationError):
+        PackageCState.from_name("C99")
+
+
+def test_c8_description_mentions_core_vr_off():
+    assert "OFF" in PACKAGE_CSTATE_TABLE[PackageCState.C8]
+    assert "ON" in PACKAGE_CSTATE_TABLE[PackageCState.C7]
+
+
+# -- package C-state power model -----------------------------------------------------------------
+
+
+def _models():
+    darkgates = PackageCStateModel(skylake_s_desktop(), bypass_mode=True)
+    baseline = PackageCStateModel(skylake_h_mobile(), bypass_mode=False)
+    return darkgates, baseline
+
+
+def test_c7_power_over_three_times_higher_with_bypass():
+    # Section 4.3: package C7 power is more than 3x higher in DarkGates.
+    darkgates, baseline = _models()
+    ratio = darkgates.power_ratio_to(baseline, PackageCState.C7)
+    assert ratio > 3.0
+
+
+def test_c8_power_equal_between_configurations():
+    # With the core VR off, bypassing no longer matters.
+    darkgates, baseline = _models()
+    assert darkgates.power_w(PackageCState.C8) == pytest.approx(
+        baseline.power_w(PackageCState.C8)
+    )
+
+
+def test_darkgates_c8_much_lower_than_darkgates_c7():
+    darkgates, _ = _models()
+    assert darkgates.power_w(PackageCState.C8) < 0.5 * darkgates.power_w(PackageCState.C7)
+
+
+def test_cstate_power_decreases_with_depth_per_configuration():
+    for model in _models():
+        powers = [
+            model.power_w(state)
+            for state in (PackageCState.C2, PackageCState.C3, PackageCState.C6, PackageCState.C7)
+        ]
+        assert all(a >= b for a, b in zip(powers, powers[1:]))
+
+
+def test_cstate_breakdown_sums_to_total():
+    darkgates, _ = _models()
+    breakdown = darkgates.breakdown(PackageCState.C7)
+    assert breakdown.total_w == pytest.approx(
+        breakdown.cores_leakage_w
+        + breakdown.uncore_w
+        + breakdown.vr_overhead_w
+        + breakdown.platform_floor_w
+    )
+
+
+def test_cstate_c0_is_not_an_idle_state():
+    darkgates, _ = _models()
+    with pytest.raises(ConfigurationError):
+        darkgates.power_w(PackageCState.C0)
+
+
+def test_cstate_idle_states_enumeration():
+    darkgates, _ = _models()
+    assert PackageCState.C0 not in darkgates.idle_states()
+    assert PackageCState.C8 in darkgates.idle_states()
+
+
+def test_cstate_core_leakage_zero_when_vr_off():
+    darkgates, _ = _models()
+    assert darkgates.breakdown(PackageCState.C8).cores_leakage_w == 0.0
+    assert darkgates.breakdown(PackageCState.C7).cores_leakage_w > 0.3
+
+
+# -- power budget manager -------------------------------------------------------------------------
+
+
+def test_pbm_budget_split_accounts_for_all_domains():
+    pcode = Pcode(skylake_s_desktop(45.0), FuseSet.darkgates_desktop())
+    point = pcode.resolve_graphics_operating_point(GraphicsDemand())
+    assert point.package_power_w == pytest.approx(
+        point.cpu_power_w
+        + point.idle_cores_power_w
+        + point.uncore_power_w
+        + point.graphics_power_w
+    )
+    assert point.package_power_w <= 45.0 + 1e-6
+
+
+def test_pbm_graphics_frequency_higher_at_higher_tdp():
+    low = Pcode(skylake_h_mobile(35.0), FuseSet.legacy_desktop())
+    high = Pcode(skylake_h_mobile(91.0), FuseSet.legacy_desktop())
+    demand = GraphicsDemand()
+    assert (
+        high.resolve_graphics_operating_point(demand).graphics_frequency_hz
+        >= low.resolve_graphics_operating_point(demand).graphics_frequency_hz
+    )
+
+
+def test_pbm_bypass_mode_has_idle_core_leakage():
+    darkgates = Pcode(skylake_s_desktop(35.0), FuseSet.darkgates_desktop())
+    baseline = Pcode(skylake_h_mobile(35.0), FuseSet.legacy_desktop())
+    demand = GraphicsDemand()
+    dg_point = darkgates.resolve_graphics_operating_point(demand)
+    base_point = baseline.resolve_graphics_operating_point(demand)
+    assert dg_point.idle_cores_power_w > base_point.idle_cores_power_w
+    assert dg_point.graphics_budget_w < base_point.graphics_budget_w
+
+
+def test_pbm_graphics_budget_not_binding_at_high_tdp():
+    darkgates = Pcode(skylake_s_desktop(91.0), FuseSet.darkgates_desktop())
+    baseline = Pcode(skylake_h_mobile(91.0), FuseSet.legacy_desktop())
+    demand = GraphicsDemand()
+    assert (
+        darkgates.resolve_graphics_operating_point(demand).graphics_frequency_hz
+        == baseline.resolve_graphics_operating_point(demand).graphics_frequency_hz
+    )
+
+
+def test_pbm_rejects_too_many_driver_cores():
+    pcode = Pcode(skylake_s_desktop(45.0), FuseSet.darkgates_desktop())
+    with pytest.raises(ConfigurationError):
+        pcode.resolve_graphics_operating_point(GraphicsDemand(driver_cores=9))
+
+
+def test_graphics_demand_validation():
+    with pytest.raises(ConfigurationError):
+        GraphicsDemand(graphics_activity=1.4)
+    with pytest.raises(ConfigurationError):
+        GraphicsDemand(driver_cores=0)
+
+
+# -- Pcode facade ------------------------------------------------------------------------------------
+
+
+def test_pcode_rejects_mismatched_fuses_and_package():
+    with pytest.raises(ConfigurationError):
+        Pcode(skylake_h_mobile(), FuseSet.darkgates_desktop())
+    with pytest.raises(ConfigurationError):
+        Pcode(skylake_s_desktop(), FuseSet.legacy_desktop())
+
+
+def test_pcode_deepest_cstate_follows_fuses():
+    darkgates = Pcode(skylake_s_desktop(), FuseSet.darkgates_desktop())
+    baseline = Pcode(skylake_h_mobile(), FuseSet.legacy_desktop())
+    assert darkgates.deepest_package_cstate() is PackageCState.C8
+    assert baseline.deepest_package_cstate() is PackageCState.C7
+
+
+def test_pcode_refuses_deeper_than_supported_cstate():
+    baseline = Pcode(skylake_h_mobile(), FuseSet.legacy_desktop())
+    with pytest.raises(ConfigurationError):
+        baseline.package_idle_power_w(PackageCState.C8)
+
+
+def test_pcode_idle_power_defaults_to_deepest():
+    darkgates = Pcode(skylake_s_desktop(), FuseSet.darkgates_desktop())
+    assert darkgates.package_idle_power_w() == pytest.approx(
+        darkgates.package_idle_power_w(PackageCState.C8)
+    )
+
+
+def test_pcode_cpu_resolution_exposed(darkgates_91w):
+    point = darkgates_91w.resolve_cpu_operating_point(CpuDemand(active_cores=1))
+    assert point.frequency_hz > 3.5e9
+
+
+def test_pcode_turbo_table_consistent_with_vf_curve(darkgates_91w):
+    table = darkgates_91w.turbo_table()
+    assert table.single_core_turbo_hz() == pytest.approx(darkgates_91w.vf_curve.fmax_hz(1))
+
+
+def test_pcode_describe_mentions_mode(darkgates_91w, baseline_91w):
+    assert "bypass" in darkgates_91w.describe()
+    assert "normal" in baseline_91w.describe()
+
+
+def test_pcode_reliability_margin_raises_guardband():
+    plain = Pcode(skylake_s_desktop(), FuseSet.darkgates_desktop())
+    margined = Pcode(
+        skylake_s_desktop(), FuseSet.darkgates_desktop(), reliability_margin_v=0.02
+    )
+    assert margined.vf_curve.guardband_v(1) == pytest.approx(
+        plain.vf_curve.guardband_v(1) + 0.02
+    )

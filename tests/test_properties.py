@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.grid import FrequencyGrid
+from repro.common.units import MHZ
+from repro.pdn.elements import Capacitor, Inductor, Resistor
+from repro.pdn.loadline import LoadLine
+from repro.power.dynamic import DynamicPowerModel
+from repro.power.leakage import LeakagePowerModel
+from repro.power.thermal import ThermalLimits, ThermalModel
+from repro.soc.die import SiliconVfCharacter
+from repro.workloads.descriptors import CpuWorkload
+
+_frequencies = st.floats(min_value=1e8, max_value=6e9)
+_voltages = st.floats(min_value=0.4, max_value=1.5)
+_currents = st.floats(min_value=0.0, max_value=200.0)
+
+
+# -- frequency grid invariants ---------------------------------------------------------------------
+
+
+@given(
+    frequency=st.floats(min_value=1e8, max_value=6e9),
+    step_mhz=st.sampled_from([50.0, 100.0, 133.0]),
+)
+def test_grid_floor_is_at_most_input_and_on_grid(frequency, step_mhz):
+    grid = FrequencyGrid(min_hz=800 * MHZ, max_hz=4.5e9, step_hz=step_mhz * MHZ)
+    floored = grid.floor(frequency)
+    assert grid.min_hz <= floored <= grid.max_hz
+    assert grid.contains(floored)
+    if grid.min_hz <= frequency <= grid.max_hz:
+        assert floored <= frequency + 1e-6
+
+
+@given(frequency=_frequencies)
+def test_grid_ceil_not_below_floor(frequency):
+    grid = FrequencyGrid(min_hz=800 * MHZ, max_hz=4.5e9, step_hz=100 * MHZ)
+    assert grid.ceil(frequency) >= grid.floor(frequency) - 1e-6
+
+
+# -- circuit element invariants ----------------------------------------------------------------------
+
+
+@given(
+    resistance=st.floats(min_value=1e-4, max_value=10.0),
+    omega=st.floats(min_value=1e3, max_value=1e10),
+)
+def test_resistor_admittance_real_and_positive(resistance, omega):
+    admittance = Resistor(resistance).admittance(omega)
+    assert admittance.imag == 0.0
+    assert admittance.real > 0.0
+
+
+@given(
+    inductance=st.floats(min_value=1e-12, max_value=1e-6),
+    dcr=st.floats(min_value=0.0, max_value=1e-2),
+    omega=st.floats(min_value=1e3, max_value=1e10),
+)
+def test_inductor_impedance_magnitude_grows_with_frequency(inductance, dcr, omega):
+    inductor = Inductor(inductance, dcr)
+    z_low = 1.0 / inductor.admittance(omega)
+    z_high = 1.0 / inductor.admittance(omega * 10)
+    assert abs(z_high) >= abs(z_low) - 1e-12
+
+
+@given(
+    capacitance=st.floats(min_value=1e-9, max_value=1e-3),
+    esr=st.floats(min_value=0.0, max_value=0.1),
+    omega=st.floats(min_value=1e3, max_value=1e9),
+)
+def test_capacitor_impedance_never_below_esr(capacitance, esr, omega):
+    capacitor = Capacitor(capacitance, esr_ohm=esr)
+    impedance = 1.0 / capacitor.admittance(omega)
+    assert abs(impedance) >= esr - 1e-12
+
+
+# -- load-line invariants --------------------------------------------------------------------------------
+
+
+@given(
+    resistance_mohm=st.floats(min_value=0.5, max_value=3.0),
+    setpoint=_voltages,
+    current=_currents,
+)
+def test_loadline_voltage_never_exceeds_setpoint(resistance_mohm, setpoint, current):
+    loadline = LoadLine(resistance_ohm=resistance_mohm * 1e-3)
+    assert loadline.load_voltage(setpoint, current) <= setpoint + 1e-12
+
+
+@given(
+    resistance_mohm=st.floats(min_value=0.5, max_value=3.0),
+    load_voltage=_voltages,
+    current=_currents,
+)
+def test_loadline_setpoint_round_trip(resistance_mohm, load_voltage, current):
+    loadline = LoadLine(resistance_ohm=resistance_mohm * 1e-3)
+    setpoint = loadline.setpoint_for_load_voltage(load_voltage, current)
+    assert loadline.load_voltage(setpoint, current) == pytest.approx(load_voltage)
+
+
+# -- power model invariants --------------------------------------------------------------------------------
+
+
+@given(voltage=_voltages, frequency=_frequencies, activity=st.floats(min_value=0.0, max_value=1.0))
+def test_dynamic_power_non_negative_and_monotone_in_activity(voltage, frequency, activity):
+    model = DynamicPowerModel(cdyn_max_f=4.5e-9)
+    power = model.power_w(voltage, frequency, activity)
+    assert power >= 0.0
+    assert power <= model.power_w(voltage, frequency, 1.0) + 1e-12
+
+
+@given(voltage=_voltages, temperature=st.floats(min_value=20.0, max_value=105.0))
+def test_leakage_monotone_in_voltage_and_temperature(voltage, temperature):
+    model = LeakagePowerModel(reference_power_w=0.3)
+    base = model.power_w(voltage, temperature)
+    assert base >= 0.0
+    assert model.power_w(voltage + 0.05, temperature) >= base
+    assert model.power_w(voltage, temperature + 5.0) >= base
+
+
+@given(tdp=st.floats(min_value=10.0, max_value=150.0), power=st.floats(min_value=0.0, max_value=150.0))
+def test_thermal_model_safe_iff_power_below_tdp(tdp, power):
+    model = ThermalModel(ThermalLimits(tdp_w=tdp))
+    assert model.is_thermally_safe(power) == (power <= tdp + 1e-9)
+
+
+# -- V/F character invariants ---------------------------------------------------------------------------------
+
+
+@given(frequency=_frequencies)
+def test_vf_character_round_trip_property(frequency):
+    silicon = SiliconVfCharacter()
+    voltage = silicon.nominal_voltage_v(frequency)
+    recovered = silicon.max_frequency_for_voltage(voltage)
+    assert recovered == pytest.approx(frequency, rel=1e-6)
+
+
+@given(f_low=_frequencies, f_high=_frequencies)
+def test_vf_character_monotone_property(f_low, f_high):
+    silicon = SiliconVfCharacter()
+    low, high = sorted((f_low, f_high))
+    assert silicon.nominal_voltage_v(high) >= silicon.nominal_voltage_v(low)
+
+
+# -- workload performance model invariants ---------------------------------------------------------------------
+
+
+@given(
+    scalability=st.floats(min_value=0.0, max_value=1.0),
+    f_low=st.floats(min_value=1e9, max_value=4.5e9),
+    f_high=st.floats(min_value=1e9, max_value=4.5e9),
+)
+def test_workload_speedup_bounded_by_frequency_ratio(scalability, f_low, f_high):
+    workload = CpuWorkload(
+        name="prop",
+        active_cores=1,
+        activity=0.6,
+        memory_intensity=0.3,
+        frequency_scalability=scalability,
+    )
+    low, high = sorted((f_low, f_high))
+    speedup = workload.speedup(low, high)
+    assert 1.0 - 1e-9 <= speedup <= high / low + 1e-9
+
+
+@given(scalability=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=30)
+def test_workload_performance_is_finite_and_positive(scalability):
+    workload = CpuWorkload(
+        name="prop",
+        active_cores=1,
+        activity=0.6,
+        memory_intensity=0.3,
+        frequency_scalability=scalability,
+    )
+    for frequency in (0.8e9, 2.0e9, 4.2e9):
+        value = workload.relative_performance(frequency)
+        assert math.isfinite(value)
+        assert value > 0.0

@@ -1,0 +1,125 @@
+"""Unit tests for the reliability substrate (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.reliability.aging import AgingModel, StressProfile
+from repro.reliability.electromigration import BumpCurrentModel
+from repro.reliability.guardband import ReliabilityGuardbandModel
+
+
+# -- aging model -----------------------------------------------------------------------------
+
+
+def test_aging_rate_is_one_at_reference():
+    model = AgingModel()
+    assert model.relative_rate(model.reference_voltage_v, model.reference_temperature_c) == pytest.approx(1.0)
+
+
+def test_aging_rate_increases_with_voltage_and_temperature():
+    model = AgingModel()
+    assert model.relative_rate(1.05, 70.0) > 1.0
+    assert model.relative_rate(1.0, 85.0) > 1.0
+
+
+def test_aging_lifetime_consumption_scales_with_powered_fraction():
+    model = AgingModel()
+    half = StressProfile(0.5, 1.0, 70.0)
+    full = StressProfile(1.0, 1.0, 70.0)
+    assert model.lifetime_consumption(full) == pytest.approx(
+        2 * model.lifetime_consumption(half)
+    )
+
+
+def test_aging_derating_zero_when_candidate_not_worse():
+    model = AgingModel()
+    baseline = StressProfile(1.0, 1.0, 70.0)
+    candidate = StressProfile(0.5, 1.0, 70.0)
+    assert model.voltage_derating_for_equal_lifetime(baseline, candidate) == 0.0
+
+
+def test_aging_derating_positive_when_candidate_worse():
+    model = AgingModel()
+    baseline = StressProfile(0.6, 1.0, 70.0)
+    candidate = StressProfile(1.0, 1.0, 75.0)
+    derating = model.voltage_derating_for_equal_lifetime(baseline, candidate)
+    assert 0.0 < derating < 0.05
+
+
+def test_aging_derating_restores_lifetime():
+    model = AgingModel()
+    baseline = StressProfile(0.6, 1.05, 70.0)
+    candidate = StressProfile(1.0, 1.05, 75.0)
+    derating = model.voltage_derating_for_equal_lifetime(baseline, candidate)
+    compensated = StressProfile(1.0, 1.05 - derating, 75.0)
+    assert model.lifetime_consumption(compensated) == pytest.approx(
+        model.lifetime_consumption(baseline), rel=1e-6
+    )
+
+
+def test_stress_profile_validation():
+    with pytest.raises(ConfigurationError):
+        StressProfile(1.5, 1.0, 70.0)
+
+
+# -- reliability guardband --------------------------------------------------------------------------
+
+
+def test_reliability_guardband_matches_paper_magnitudes():
+    model = ReliabilityGuardbandModel()
+    high = model.guardband_for_high_tdp_desktop()
+    low = model.guardband_for_low_tdp_desktop()
+    # Paper Section 4.2: < 5 mV at 91 W, < 20 mV at 35 W.
+    assert 0.0 < high <= 0.008
+    assert 0.0 < low <= 0.020
+    assert low > high
+
+
+def test_reliability_guardband_zero_when_already_always_powered():
+    model = ReliabilityGuardbandModel(bypass_temperature_rise_c=0.0)
+    assert model.guardband_v(91.0, baseline_powered_fraction=1.0, average_temperature_c=70.0) == 0.0
+
+
+def test_reliability_guardband_grows_with_temperature_rise():
+    cool = ReliabilityGuardbandModel(bypass_temperature_rise_c=2.0)
+    hot = ReliabilityGuardbandModel(bypass_temperature_rise_c=8.0)
+    args = dict(tdp_w=65.0, baseline_powered_fraction=0.7, average_temperature_c=70.0)
+    assert hot.guardband_v(**args) > cool.guardband_v(**args)
+
+
+def test_reliability_guardband_validates_fraction():
+    model = ReliabilityGuardbandModel()
+    with pytest.raises(ConfigurationError):
+        model.guardband_v(65.0, baseline_powered_fraction=1.5, average_temperature_c=70.0)
+
+
+# -- electromigration ---------------------------------------------------------------------------------
+
+
+def test_bypass_improves_em_margin():
+    # Section 4.2: sharing all bumps between cores alleviates EM.
+    model = BumpCurrentModel()
+    assert model.bypass_improves_margin(core_current_a=30.0)
+
+
+def test_per_bump_current_lower_when_bypassed():
+    model = BumpCurrentModel()
+    gated = model.per_bump_current_gated_a(30.0)
+    bypassed = model.per_bump_current_bypassed_a(30.0, core_count=4, active_cores=4)
+    assert bypassed < gated
+
+
+def test_em_margin_above_one_for_typical_currents():
+    model = BumpCurrentModel()
+    assert model.em_margin_gated(25.0) > 1.0
+    assert model.em_margin_bypassed(25.0) > 1.0
+
+
+def test_bump_model_validation():
+    model = BumpCurrentModel()
+    with pytest.raises(ConfigurationError):
+        model.per_bump_current_bypassed_a(30.0, core_count=4, active_cores=5)
+    with pytest.raises(ConfigurationError):
+        BumpCurrentModel(bumps_per_core_domain=0)

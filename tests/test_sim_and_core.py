@@ -1,0 +1,210 @@
+"""Tests for the simulation engine, residency tracker, and the DarkGates core API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.darkgates import (
+    SystemComparison,
+    baseline_system,
+    darkgates_c7_limited_system,
+    darkgates_system,
+)
+from repro.core.overhead import darkgates_overheads
+from repro.pmu.cstates import PackageCState
+from repro.pmu.dvfs import CpuDemand
+from repro.sim.engine import SimulationEngine
+from repro.sim.residency import ResidencyTracker
+from repro.workloads.energy import energy_star_scenario, rmt_scenario
+from repro.workloads.graphics import three_dmark_suite
+from repro.workloads.phases import bursty_idle_trace, sustained_compute_trace
+from repro.workloads.spec import spec_benchmark, spec_cpu2006_base_suite
+
+
+# -- system builders -------------------------------------------------------------------------
+
+
+def test_darkgates_system_is_bypassed_with_c8(darkgates_91w):
+    assert darkgates_91w.bypass_mode
+    assert darkgates_91w.deepest_package_cstate() is PackageCState.C8
+
+
+def test_baseline_system_is_gated_with_c7(baseline_91w):
+    assert not baseline_91w.bypass_mode
+    assert baseline_91w.deepest_package_cstate() is PackageCState.C7
+
+
+def test_darkgates_c7_limited_system_configuration():
+    limited = darkgates_c7_limited_system(91.0)
+    assert limited.bypass_mode
+    assert limited.deepest_package_cstate() is PackageCState.C7
+
+
+def test_darkgates_reliability_margin_larger_at_low_tdp():
+    low = darkgates_system(35.0)
+    high = darkgates_system(91.0)
+    assert (
+        low.guardband_model.reliability_margin_v
+        > high.guardband_model.reliability_margin_v
+    )
+    assert high.guardband_model.reliability_margin_v > 0.0
+
+
+def test_darkgates_without_reliability_margin():
+    plain = darkgates_system(91.0, apply_reliability_guardband=False)
+    assert plain.guardband_model.reliability_margin_v == 0.0
+
+
+# -- simulation engine: CPU -----------------------------------------------------------------------
+
+
+def test_engine_cpu_run_reports_positive_metrics(darkgates_91w):
+    engine = SimulationEngine(darkgates_91w)
+    result = engine.run_cpu_workload(spec_benchmark("416.gamess"))
+    assert result.relative_performance > 0
+    assert result.frequency_hz >= 3.5e9
+    assert result.package_power_w > 10.0
+
+
+def test_engine_rejects_oversized_workload(darkgates_91w):
+    engine = SimulationEngine(darkgates_91w)
+    with pytest.raises(ConfigurationError):
+        engine.run_cpu_workload(spec_benchmark("416.gamess", active_cores=16))
+
+
+def test_engine_memory_bound_workload_insensitive_to_config():
+    workload = spec_benchmark("410.bwaves")
+    darkgates_result = SimulationEngine(darkgates_system(91.0)).run_cpu_workload(workload)
+    baseline_result = SimulationEngine(baseline_system(91.0)).run_cpu_workload(workload)
+    assert darkgates_result.improvement_over(baseline_result) < 0.02
+
+
+def test_engine_compute_bound_workload_benefits_from_darkgates():
+    workload = spec_benchmark("444.namd")
+    darkgates_result = SimulationEngine(darkgates_system(91.0)).run_cpu_workload(workload)
+    baseline_result = SimulationEngine(baseline_system(91.0)).run_cpu_workload(workload)
+    assert darkgates_result.improvement_over(baseline_result) > 0.03
+
+
+# -- simulation engine: graphics and energy -----------------------------------------------------------
+
+
+def test_engine_graphics_run(darkgates_91w):
+    engine = SimulationEngine(darkgates_91w)
+    result = engine.run_graphics_workload(three_dmark_suite()[0])
+    assert 300e6 <= result.graphics_frequency_hz <= 1150e6
+    assert result.relative_fps > 0
+
+
+def test_engine_energy_scenario_average_power(darkgates_91w, baseline_91w):
+    scenario = rmt_scenario()
+    darkgates_result = SimulationEngine(darkgates_91w).run_energy_scenario(scenario)
+    baseline_result = SimulationEngine(baseline_91w).run_energy_scenario(scenario)
+    assert 0.0 < darkgates_result.average_power_w < 5.0
+    assert 0.0 < baseline_result.average_power_w < 5.0
+    # Contributions of the phases must add up.
+    assert darkgates_result.average_power_w == pytest.approx(
+        sum(p.contribution_w for p in darkgates_result.phases)
+    )
+
+
+def test_engine_energy_scenario_limit_flag(darkgates_91w):
+    result = SimulationEngine(darkgates_91w).run_energy_scenario(energy_star_scenario())
+    assert result.meets_limit == (result.average_power_w <= result.average_power_limit_w)
+
+
+# -- residency tracker --------------------------------------------------------------------------------
+
+
+def test_residency_deepest_state_for_long_idle(darkgates_91w, baseline_91w):
+    darkgates_tracker = ResidencyTracker(darkgates_91w)
+    baseline_tracker = ResidencyTracker(baseline_91w)
+    assert darkgates_tracker.state_for_idle_duration(1.0) is PackageCState.C8
+    assert baseline_tracker.state_for_idle_duration(1.0) is PackageCState.C7
+
+
+def test_residency_shallow_state_for_short_idle(darkgates_91w):
+    tracker = ResidencyTracker(darkgates_91w)
+    assert tracker.state_for_idle_duration(1e-4).depth <= 3
+
+
+def test_residency_replay_bursty_trace(darkgates_91w):
+    tracker = ResidencyTracker(darkgates_91w)
+    report = tracker.replay(bursty_idle_trace())
+    assert report.residency("C0") == pytest.approx(0.01, rel=0.1)
+    assert report.residency("C8") > 0.9
+    assert report.average_power_w < 5.0
+    assert report.energy_j == pytest.approx(report.average_power_w * report.duration_s)
+
+
+def test_residency_replay_compute_trace(darkgates_91w):
+    tracker = ResidencyTracker(darkgates_91w)
+    report = tracker.replay(sustained_compute_trace(duration_s=10.0))
+    assert report.residency("C0") == pytest.approx(1.0)
+    assert report.average_power_w > 20.0
+
+
+# -- SystemComparison (the headline API) ----------------------------------------------------------------
+
+
+def test_comparison_compute_bound_gains_more_than_memory_bound(comparison_91w):
+    gamess = comparison_91w.compare_cpu(spec_benchmark("416.gamess"))
+    bwaves = comparison_91w.compare_cpu(spec_benchmark("410.bwaves"))
+    assert gamess.performance_improvement > bwaves.performance_improvement
+    assert gamess.frequency_improvement > 0
+
+
+def test_comparison_average_spec_gain_in_paper_range(comparison_91w):
+    average = comparison_91w.average_cpu_improvement(spec_cpu2006_base_suite())
+    # Paper: 4.6% average at 91 W; accept a generous band around it.
+    assert 0.02 <= average <= 0.09
+
+
+def test_comparison_graphics_unaffected_at_91w(comparison_91w):
+    degradation = comparison_91w.average_graphics_degradation(three_dmark_suite())
+    assert degradation <= 0.005
+
+
+def test_comparison_graphics_slightly_degraded_at_35w(comparison_35w):
+    degradation = comparison_35w.average_graphics_degradation(three_dmark_suite())
+    assert 0.0 < degradation <= 0.06
+
+
+def test_comparison_energy_scenarios(comparison_91w):
+    result = comparison_91w.compare_energy(rmt_scenario())
+    # DarkGates+C8 and the baseline both reduce power substantially versus
+    # DarkGates limited to C7 (paper Fig. 10).
+    assert result.darkgates_c8_reduction > 0.4
+    assert result.baseline_c7_reduction > 0.4
+    # DarkGates+C7 misses the limit; DarkGates+C8 meets it.
+    assert not result.darkgates_c7.meets_limit
+    assert result.darkgates_c8.meets_limit
+
+
+def test_comparison_summary_mentions_all_three_configs(comparison_91w):
+    summary = comparison_91w.summary()
+    assert set(summary) == {"darkgates", "baseline", "darkgates_c7_limited"}
+
+
+def test_comparison_rejects_empty_suite(comparison_91w):
+    with pytest.raises(ConfigurationError):
+        comparison_91w.average_cpu_improvement([])
+
+
+def test_comparison_rejects_bad_tdp():
+    with pytest.raises(ConfigurationError):
+        SystemComparison(tdp_w=-1.0)
+
+
+# -- overheads (Section 5) ---------------------------------------------------------------------------------
+
+
+def test_overheads_match_section5_claims():
+    overheads = darkgates_overheads()
+    assert overheads.firmware_bytes == 300
+    assert overheads.firmware_area_below_claim
+    assert not overheads.requires_new_package
+    # The power-gates the baseline carries cost a few percent of core area.
+    assert 0.01 <= overheads.power_gate_core_area_fraction <= 0.10
+    assert overheads.power_gate_die_area_fraction < 0.05

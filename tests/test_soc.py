@@ -1,0 +1,290 @@
+"""Unit tests for the SoC substrate: cores, graphics, uncore, die, package, SKUs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.pdn.ladder import PdnConfiguration
+from repro.soc.core import CpuCore
+from repro.soc.die import Die, SiliconVfCharacter, skylake_client_die
+from repro.soc.graphics import GraphicsEngine
+from repro.soc.package import Package, PackageKind, desktop_package, mobile_package
+from repro.soc.processor import Processor
+from repro.soc.skus import (
+    SKYLAKE_TDP_LEVELS_W,
+    broadwell_desktop,
+    sku_descriptions,
+    skylake_h_mobile,
+    skylake_s_desktop,
+)
+from repro.soc.uncore import Uncore
+
+
+# -- CPU core -----------------------------------------------------------------------------
+
+
+def test_core_active_power_increases_with_frequency_and_voltage():
+    core = CpuCore(name="core0")
+    low = core.active_power_w(2e9, 0.9, 0.6)
+    high_f = core.active_power_w(3e9, 0.9, 0.6)
+    high_v = core.active_power_w(2e9, 1.1, 0.6)
+    assert high_f > low
+    assert high_v > low
+
+
+def test_core_idle_power_gated_much_lower_than_ungated():
+    core = CpuCore(name="core0")
+    gated = core.idle_power_w(1.0, gated=True)
+    ungated = core.idle_power_w(1.0, gated=False)
+    assert gated < 0.1 * ungated
+
+
+def test_core_active_power_rejects_bad_activity():
+    core = CpuCore(name="core0")
+    with pytest.raises(ConfigurationError):
+        core.active_power_w(2e9, 1.0, 1.5)
+
+
+def test_core_virus_current_scales_with_frequency():
+    core = CpuCore(name="core0")
+    assert core.virus_current_a(4e9, 1.2) > core.virus_current_a(2e9, 1.2)
+
+
+def test_core_power_gate_area_overhead_significant():
+    # The paper motivates DarkGates with the >1% area cost of core-level
+    # power-gates; the default core uses a few percent of its area.
+    core = CpuCore(name="core0")
+    assert 0.01 <= core.power_gate_area_overhead() <= 0.10
+
+
+# -- graphics engine -----------------------------------------------------------------------
+
+
+def test_graphics_frequency_grid_matches_table2():
+    graphics = GraphicsEngine()
+    assert graphics.frequency_grid.min_hz == pytest.approx(300e6)
+    assert graphics.frequency_grid.max_hz == pytest.approx(1150e6)
+
+
+def test_graphics_power_increases_with_frequency():
+    graphics = GraphicsEngine()
+    assert graphics.active_power_w(1.1e9) > graphics.active_power_w(0.6e9)
+
+
+def test_graphics_max_frequency_within_power_monotonic():
+    graphics = GraphicsEngine()
+    small = graphics.max_frequency_within_power(8.0)
+    large = graphics.max_frequency_within_power(30.0)
+    assert large >= small
+    assert graphics.frequency_grid.min_hz <= small <= graphics.frequency_grid.max_hz
+
+
+def test_graphics_min_frequency_returned_when_budget_tiny():
+    graphics = GraphicsEngine()
+    assert graphics.max_frequency_within_power(0.1) == pytest.approx(
+        graphics.frequency_grid.min_hz
+    )
+
+
+def test_graphics_idle_power_is_small():
+    assert GraphicsEngine().idle_power_w() < 0.2
+
+
+# -- uncore ---------------------------------------------------------------------------------
+
+
+def test_uncore_active_power_grows_with_memory_intensity():
+    uncore = Uncore()
+    assert uncore.package_c0_power_w(1.0) > uncore.package_c0_power_w(0.0)
+
+
+def test_uncore_idle_power_decreases_with_state_depth():
+    uncore = Uncore()
+    powers = [uncore.package_idle_power_w(s) for s in ("C2", "C3", "C6", "C7", "C8", "C10")]
+    assert all(a >= b for a, b in zip(powers, powers[1:]))
+
+
+def test_uncore_unknown_state_raises():
+    with pytest.raises(ValueError):
+        Uncore().package_idle_power_w("C99")
+
+
+def test_uncore_rejects_non_monotonic_idle_powers():
+    with pytest.raises(ValueError):
+        Uncore(c3_power_w=0.1, c6_power_w=0.5)
+
+
+# -- silicon V/F character ---------------------------------------------------------------------
+
+
+def test_vf_character_monotonic():
+    silicon = SiliconVfCharacter()
+    assert silicon.nominal_voltage_v(4e9) > silicon.nominal_voltage_v(2e9)
+
+
+def test_vf_character_inverse_round_trip():
+    silicon = SiliconVfCharacter()
+    for f in (1e9, 2.5e9, 4.0e9):
+        voltage = silicon.nominal_voltage_v(f)
+        assert silicon.max_frequency_for_voltage(voltage) == pytest.approx(f, rel=1e-6)
+
+
+def test_vf_character_below_v0_gives_zero_frequency():
+    silicon = SiliconVfCharacter(v0=0.6)
+    assert silicon.max_frequency_for_voltage(0.5) == 0.0
+
+
+def test_vf_character_slope_steepens_with_frequency():
+    silicon = SiliconVfCharacter()
+    assert silicon.slope_at(4e9) > silicon.slope_at(1e9)
+
+
+def test_vf_character_linear_fallback():
+    silicon = SiliconVfCharacter(curvature_v_per_ghz2=0.0)
+    voltage = silicon.nominal_voltage_v(3e9)
+    assert silicon.max_frequency_for_voltage(voltage) == pytest.approx(3e9, rel=1e-9)
+
+
+def test_vf_character_skylake_range_is_plausible():
+    silicon = SiliconVfCharacter()
+    assert 0.6 <= silicon.nominal_voltage_v(0.8e9) <= 0.85
+    assert 1.1 <= silicon.nominal_voltage_v(4.2e9) <= 1.35
+
+
+# -- die -------------------------------------------------------------------------------------
+
+
+def test_skylake_die_has_four_cores():
+    die = skylake_client_die()
+    assert die.core_count == 4
+    assert die.process_nm == 14
+
+
+def test_die_requires_at_least_one_core():
+    with pytest.raises(ConfigurationError):
+        Die(name="empty", cores=[])
+
+
+def test_die_power_gate_area_fraction():
+    die = skylake_client_die()
+    fraction = die.power_gate_die_area_fraction()
+    assert 0.0 < fraction < 0.05
+    assert die.total_power_gate_area_mm2() == pytest.approx(
+        sum(c.power_gate.area_mm2 for c in die.cores)
+    )
+
+
+def test_die_cores_leakage_sums_over_cores():
+    die = skylake_client_die()
+    single = die.cores[0].leakage.power_w(1.0, 60.0)
+    assert die.cores_leakage_w(1.0, 60.0) == pytest.approx(4 * single)
+
+
+def test_die_vmax_exceeds_vmin():
+    die = skylake_client_die()
+    assert die.vmax_v > die.vmin_v
+
+
+# -- package ------------------------------------------------------------------------------------
+
+
+def test_desktop_package_is_lga_and_bypassed():
+    package = desktop_package(PdnConfiguration())
+    assert package.kind is PackageKind.LGA
+    assert package.bypass_power_gates
+    assert package.pdn.bypassed
+    assert not package.supports_core_power_gating()
+
+
+def test_mobile_package_is_bga_and_gated():
+    package = mobile_package(PdnConfiguration())
+    assert package.kind is PackageKind.BGA
+    assert not package.bypass_power_gates
+    assert package.supports_core_power_gating()
+
+
+def test_package_voltage_domains():
+    gated = mobile_package(PdnConfiguration())
+    bypassed = desktop_package(PdnConfiguration())
+    assert gated.domain_count() == 5  # VCU plus one per core
+    assert bypassed.domain_count() == 1
+
+
+def test_package_rejects_inconsistent_pdn_flag():
+    with pytest.raises(ConfigurationError):
+        Package(
+            name="broken",
+            kind=PackageKind.LGA,
+            bypass_power_gates=True,
+            pdn=PdnConfiguration(),  # not bypassed
+        )
+
+
+def test_package_describe_mentions_gating():
+    assert "bypassed" in desktop_package(PdnConfiguration()).describe()
+    assert "enabled" in mobile_package(PdnConfiguration()).describe()
+
+
+# -- SKUs and processor ---------------------------------------------------------------------------
+
+
+def test_skylake_s_is_bypassed_and_h_is_gated():
+    assert skylake_s_desktop().power_gates_bypassed
+    assert not skylake_h_mobile().power_gates_bypassed
+
+
+def test_both_skylake_skus_share_die_characteristics():
+    desktop = skylake_s_desktop()
+    mobile = skylake_h_mobile()
+    assert desktop.core_count == mobile.core_count == 4
+    assert desktop.die.vmax_v == mobile.die.vmax_v
+    assert desktop.die.uncore.llc_mb == mobile.die.uncore.llc_mb == 8.0
+
+
+def test_processor_with_tdp_reconfiguration():
+    processor = skylake_s_desktop(91.0)
+    reconfigured = processor.with_tdp(35.0)
+    assert reconfigured.tdp_w == pytest.approx(35.0)
+    assert reconfigured.die is processor.die
+
+
+def test_processor_thermal_model_uses_tdp():
+    processor = skylake_s_desktop(65.0)
+    assert processor.thermal_model().max_sustained_power_w() == pytest.approx(65.0)
+
+
+def test_processor_rejects_non_positive_tdp():
+    with pytest.raises(ConfigurationError):
+        Processor(
+            name="bad",
+            die=skylake_client_die(),
+            package=desktop_package(PdnConfiguration()),
+            tdp_w=0.0,
+        )
+
+
+def test_tdp_levels_match_paper():
+    assert SKYLAKE_TDP_LEVELS_W == (35.0, 45.0, 65.0, 91.0)
+
+
+def test_broadwell_is_gated_with_lower_ceiling():
+    broadwell = broadwell_desktop()
+    skylake = skylake_s_desktop()
+    assert not broadwell.power_gates_bypassed
+    assert broadwell.die.vmax_v < skylake.die.vmax_v
+
+
+def test_table2_sku_descriptions():
+    desktop, mobile = sku_descriptions()
+    assert desktop.name == "i7-6700K"
+    assert mobile.name == "i7-6920HQ"
+    assert desktop.core_frequency_range_ghz == (0.8, 4.2)
+    assert desktop.graphics_frequency_range_mhz == (300.0, 1150.0)
+    assert desktop.llc_mb == 8.0
+    assert desktop.tdp_range_w == (35.0, 91.0)
+    assert desktop.process_nm == mobile.process_nm == 14
+
+
+def test_processor_describe_contains_tdp():
+    assert "91" in skylake_s_desktop(91.0).describe()
