@@ -1,0 +1,55 @@
+"""Study runner — the Fig. 8 sweep expressed as one declarative grid.
+
+Benchmarks the unified sweep path: DarkGates and baseline specs x the four
+evaluated TDP levels x SPEC CPU2006 base, executed through a Study, and
+asserts the caching contract (a repeat run executes zero engine runs) plus
+agreement with the ported Fig. 8 experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_fig8_spec_tdp_sweep
+from repro.analysis.study import Study
+from repro.core.spec import get_spec
+from repro.soc.skus import SKYLAKE_TDP_LEVELS_W
+from repro.workloads.spec import spec_cpu2006_base_suite
+
+
+def _run_sweep():
+    suite = spec_cpu2006_base_suite()
+    study = Study.over_tdp_levels(
+        ("darkgates", "baseline"), SKYLAKE_TDP_LEVELS_W, suite, name="study-sweep"
+    )
+    result = study.run()
+    return study, result, suite
+
+
+def test_study_runner_tdp_sweep(benchmark):
+    study, result, suite = benchmark.pedantic(
+        _run_sweep, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    print()
+    print(result.as_table(title="Study: SPEC base sweep (first rows)").splitlines()[0])
+
+    # 2 specs x 4 TDP levels x full base suite, each executed exactly once.
+    assert len(result.cells) == 2 * len(SKYLAKE_TDP_LEVELS_W) * len(suite)
+    assert study.tasks_executed == len(result.cells)
+
+    # Caching: a repeat invocation does zero engine re-runs.
+    study.run()
+    assert study.tasks_executed == len(result.cells)
+
+    # The grid reduces to the same averages the Fig. 8 experiment reports.
+    fig8 = run_fig8_spec_tdp_sweep()
+    for index, tdp in enumerate(SKYLAKE_TDP_LEVELS_W):
+        dark = get_spec("darkgates", tdp_w=tdp)
+        base = get_spec("baseline", tdp_w=tdp)
+        gains = [
+            result.get(dark, w).improvement_over(result.get(base, w)) for w in suite
+        ]
+        average = sum(gains) / len(gains)
+        assert average == pytest.approx(fig8.base_improvements[index])
+        assert average > 0.0

@@ -9,6 +9,8 @@ Part 2 reproduces the Fig. 10 story: with the gates bypassed, package C7
 leaks too much to meet ENERGY STAR / Intel RMT average-power limits, and the
 desktop needs the deeper package C8 state (core VR off) to comply.
 
+Both parts run as :class:`Study` grids over the registered system specs.
+
 Run with::
 
     python examples/graphics_and_energy_budget.py
@@ -16,29 +18,36 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    SystemComparison,
-    energy_star_scenario,
-    rmt_scenario,
-    three_dmark_suite,
-)
+from repro import Study, get_spec, three_dmark_suite
 from repro.analysis.reporting import format_percent, format_table
 from repro.soc.skus import SKYLAKE_TDP_LEVELS_W
+from repro.workloads.energy import energy_star_scenario, rmt_scenario
 
 
 def graphics_budget_study() -> None:
+    darkgates = get_spec("darkgates")
+    baseline = get_spec("baseline")
+    suite = three_dmark_suite()
+    grid = Study.over_tdp_levels(
+        (darkgates, baseline), SKYLAKE_TDP_LEVELS_W, suite, name="fig9-example"
+    ).run()
     rows = []
     for tdp in SKYLAKE_TDP_LEVELS_W:
-        comparison = SystemComparison(tdp_w=tdp)
-        sample = comparison.compare_graphics(three_dmark_suite()[0])
-        average = comparison.average_graphics_degradation(three_dmark_suite())
+        dark_spec = darkgates.variant(tdp_w=tdp)
+        base_spec = baseline.variant(tdp_w=tdp)
+        sample_dark = grid.get(dark_spec, suite[0])
+        sample_base = grid.get(base_spec, suite[0])
+        losses = [
+            grid.get(dark_spec, w).degradation_from(grid.get(base_spec, w))
+            for w in suite
+        ]
         rows.append(
             (
                 f"{tdp:.0f} W",
-                f"{sample.baseline.operating_point.graphics_budget_w:.1f} W",
-                f"{sample.darkgates.operating_point.graphics_budget_w:.1f} W",
-                f"{sample.darkgates.operating_point.idle_cores_power_w:.2f} W",
-                format_percent(average, decimals=2),
+                f"{sample_base.operating_point.graphics_budget_w:.1f} W",
+                f"{sample_dark.operating_point.graphics_budget_w:.1f} W",
+                f"{sample_dark.operating_point.idle_cores_power_w:.2f} W",
+                format_percent(sum(losses) / len(losses), decimals=2),
             )
         )
     print(
@@ -51,18 +60,26 @@ def graphics_budget_study() -> None:
 
 
 def energy_compliance_study() -> None:
-    comparison = SystemComparison(tdp_w=91.0)
+    darkgates_c8 = get_spec("darkgates")
+    darkgates_c7 = get_spec("darkgates+c7")
+    baseline_c7 = get_spec("baseline")
+    scenarios = (energy_star_scenario(), rmt_scenario())
+    grid = Study(
+        (darkgates_c8, darkgates_c7, baseline_c7), scenarios, name="fig10-example"
+    ).run()
     rows = []
-    for scenario in (energy_star_scenario(), rmt_scenario()):
-        result = comparison.compare_energy(scenario)
+    for scenario in scenarios:
+        c7 = grid.get(darkgates_c7, scenario)
+        c8 = grid.get(darkgates_c8, scenario)
+        baseline = grid.get(baseline_c7, scenario)
         rows.append(
             (
                 scenario.name,
-                f"{result.darkgates_c7.average_power_w:.2f} W",
-                f"{result.darkgates_c8.average_power_w:.2f} W",
-                f"{result.baseline_c7.average_power_w:.2f} W",
+                f"{c7.average_power_w:.2f} W",
+                f"{c8.average_power_w:.2f} W",
+                f"{baseline.average_power_w:.2f} W",
                 f"{scenario.average_power_limit_w:.2f} W",
-                "yes" if result.darkgates_c8.meets_limit else "no",
+                "yes" if c8.meets_limit else "no",
             )
         )
     print(

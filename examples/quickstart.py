@@ -1,9 +1,18 @@
 """Quickstart: compare a DarkGates desktop against the gated baseline.
 
-Builds the two systems the paper evaluates (Skylake-S with power-gates
-bypassed versus Skylake-H with power-gates enabled), runs a handful of SPEC
-CPU2006 benchmarks on both, and prints the per-benchmark and average
-performance improvement — the headline result of the paper.
+Declares the two systems the paper evaluates as named specs
+(``get_spec("darkgates")`` — Skylake-S with power-gates bypassed — and
+``get_spec("baseline")`` — Skylake-H with power-gates enabled), sweeps a
+handful of SPEC CPU2006 benchmarks over both with a :class:`Study`, and
+prints the per-benchmark and average performance improvement — the headline
+result of the paper.
+
+Migration note (1.0 -> 1.1):
+
+* ``darkgates_system(tdp)``  ->  ``get_spec("darkgates", tdp_w=tdp).build()``
+* ``baseline_system(tdp)``   ->  ``get_spec("baseline", tdp_w=tdp).build()``
+* ``engine.run_cpu_workload(w)`` (and friends)  ->  ``engine.run(w)``
+* hand-rolled sweep loops    ->  ``Study(specs, workloads).run()``
 
 Run with::
 
@@ -12,28 +21,34 @@ Run with::
 
 from __future__ import annotations
 
-from repro import SystemComparison, spec_cpu2006_base_suite
+from repro import Study, get_spec, spec_cpu2006_base_suite
 from repro.analysis.reporting import format_percent, format_table
 
 
 def main() -> None:
-    comparison = SystemComparison(tdp_w=91.0)
+    darkgates = get_spec("darkgates")
+    baseline = get_spec("baseline")
 
     print("Configurations under comparison")
-    for name, description in comparison.summary().items():
-        print(f"  {name:22s} {description}")
+    for spec in (darkgates, baseline):
+        print(f"  {spec.label:22s} {spec.build().describe()}")
     print()
 
     suite = spec_cpu2006_base_suite()
+    grid = Study((darkgates, baseline), suite, name="quickstart").run()
+
     rows = []
+    improvements = []
     for workload in suite:
-        result = comparison.compare_cpu(workload)
+        after = grid.get(darkgates, workload)
+        before = grid.get(baseline, workload)
+        improvements.append(after.improvement_over(before))
         rows.append(
             (
                 workload.name,
-                f"{result.baseline.frequency_hz / 1e9:.1f} GHz",
-                f"{result.darkgates.frequency_hz / 1e9:.1f} GHz",
-                format_percent(result.performance_improvement),
+                f"{before.frequency_hz / 1e9:.1f} GHz",
+                f"{after.frequency_hz / 1e9:.1f} GHz",
+                format_percent(improvements[-1]),
             )
         )
 
@@ -44,7 +59,7 @@ def main() -> None:
             title="SPEC CPU2006 (base) at 91 W TDP",
         )
     )
-    average = comparison.average_cpu_improvement(suite)
+    average = sum(improvements) / len(improvements)
     print()
     print(f"Average improvement: {format_percent(average)} "
           f"(paper reports 4.6% on real silicon)")

@@ -7,15 +7,59 @@ thermal behaviour, power-management firmware, and workloads of a
 Skylake-class client SoC, and uses them to reproduce the paper's evaluation:
 SPEC CPU2006 gains, 3DMark impact, and ENERGY STAR / RMT average power.
 
-Quickstart::
+Quickstart — declare systems, run workloads, sweep grids::
 
-    from repro import SystemComparison, spec_cpu2006_base_suite
+    from repro import SimulationEngine, Study, get_spec, spec_cpu2006_base_suite
 
-    comparison = SystemComparison(tdp_w=91.0)
-    gain = comparison.average_cpu_improvement(spec_cpu2006_base_suite())
-    print(f"DarkGates improves SPEC base by {gain * 100:.1f}% at 91 W")
+    # 1. Systems are declarative specs; .build() assembles the firmware.
+    darkgates = get_spec("darkgates")              # Skylake-S, bypassed, C8
+    baseline = get_spec("baseline")                # Skylake-H, gated, C7
+    low_power = darkgates.variant(tdp_w=35.0)      # any field is overridable
+
+    # 2. One polymorphic entry point runs any workload class.
+    engine = SimulationEngine(darkgates.build())
+    result = engine.run(spec_cpu2006_base_suite()[0])   # -> CpuRunResult
+    print(result.to_dict())                             # JSON round-trips
+
+    # 3. Studies sweep specs x workloads (serially or on a process pool),
+    #    cache per-(spec, workload) results, and serialise to JSON.
+    study = Study.over_tdp_levels(
+        ("darkgates", "baseline"),
+        tdp_levels_w=(35.0, 91.0),
+        workloads=spec_cpu2006_base_suite(),
+        executor="process",
+    )
+    grid = study.run()
+    gain = grid.get(darkgates.variant(tdp_w=91.0), "416.gamess").improvement_over(
+        grid.get(get_spec("baseline", tdp_w=91.0), "416.gamess")
+    )
+    print(grid.as_table())
+
+Migrating from the 1.0 API:
+
+=====================================================  ==================================================================
+Old call                                               New call
+=====================================================  ==================================================================
+``darkgates_system(tdp_w)``                            ``get_spec("darkgates", tdp_w=tdp_w).build()``
+``baseline_system(tdp_w)``                             ``get_spec("baseline", tdp_w=tdp_w).build()``
+``darkgates_c7_limited_system(tdp_w)``                 ``get_spec("darkgates+c7", tdp_w=tdp_w).build()``
+``engine.run_cpu_workload(w)``                         ``engine.run(w)`` (per-class methods remain available)
+``engine.run_graphics_workload(w)``                    ``engine.run(w)``
+``engine.run_energy_scenario(s)``                      ``engine.run(s)``
+hand-rolled sweep loops                                ``Study(specs, workloads).run()`` / ``Study.over_tdp_levels(...)``
+=====================================================  ==================================================================
+
+The deprecated factories still work and emit :class:`DeprecationWarning`;
+:class:`SystemComparison` is unchanged.
 """
 
+from repro.analysis.study import (
+    CallableTask,
+    ProcessExecutor,
+    SerialExecutor,
+    Study,
+    StudyResult,
+)
 from repro.core.darkgates import (
     SystemComparison,
     baseline_system,
@@ -23,8 +67,22 @@ from repro.core.darkgates import (
     darkgates_system,
 )
 from repro.core.overhead import darkgates_overheads
+from repro.core.spec import (
+    SystemSpec,
+    build_engine,
+    get_spec,
+    register_spec,
+    spec_names,
+)
 from repro.pmu.pcode import Pcode
 from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import (
+    CpuRunResult,
+    EnergyRunResult,
+    GraphicsRunResult,
+    RunResult,
+)
+from repro.workloads.descriptors import Workload
 from repro.workloads.energy import energy_star_scenario, rmt_scenario
 from repro.workloads.graphics import three_dmark_suite
 from repro.workloads.spec import (
@@ -33,9 +91,19 @@ from repro.workloads.spec import (
     spec_cpu2006_suite,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "SystemSpec",
+    "build_engine",
+    "get_spec",
+    "register_spec",
+    "spec_names",
+    "Study",
+    "StudyResult",
+    "CallableTask",
+    "SerialExecutor",
+    "ProcessExecutor",
     "SystemComparison",
     "baseline_system",
     "darkgates_c7_limited_system",
@@ -43,6 +111,11 @@ __all__ = [
     "darkgates_overheads",
     "Pcode",
     "SimulationEngine",
+    "Workload",
+    "RunResult",
+    "CpuRunResult",
+    "GraphicsRunResult",
+    "EnergyRunResult",
     "energy_star_scenario",
     "rmt_scenario",
     "three_dmark_suite",

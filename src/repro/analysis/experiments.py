@@ -1,10 +1,13 @@
 """Experiment definitions: one function per table/figure of the paper.
 
 Every ``run_*`` function regenerates the data behind one evaluation artefact
-and returns a structured result.  The benchmark harness under
-``benchmarks/`` calls these functions, prints the same rows/series the paper
-reports, and asserts the qualitative claims; the absolute values are
-recorded in EXPERIMENTS.md.
+and returns a structured result.  All of them execute through the
+:class:`~repro.analysis.study.Study` sweep runner: each experiment declares
+its grid of system specs (from the :mod:`repro.core.spec` registry) and
+workload suites, runs it, and reduces the completed grid into the paper's
+figure/table shape.  The benchmark harness under ``benchmarks/`` calls these
+functions, prints the same rows/series the paper reports, and asserts the
+qualitative claims; the absolute values are recorded in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -13,15 +16,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.analysis.reporting import format_table
-from repro.core.darkgates import SystemComparison
+from repro.analysis.study import CallableTask, Study
+from repro.core.spec import SKU_BUILDERS, get_spec
 from repro.pdn.ac import ACAnalysis, ImpedanceProfile
-from repro.pdn.guardband import GuardbandModel, OffsetGuardbandModel
 from repro.pdn.ladder import PdnConfiguration, SkylakePdnBuilder
 from repro.pmu.cstates import table1_rows
-from repro.pmu.fuses import FuseSet
-from repro.pmu.pcode import Pcode
 from repro.reliability.guardband import ReliabilityGuardbandModel
-from repro.sim.engine import SimulationEngine
 from repro.soc.skus import (
     BROADWELL_TDP_LEVELS_W,
     SKYLAKE_TDP_LEVELS_W,
@@ -67,26 +67,28 @@ def run_fig3_guardband_motivation(
         "SPECint_base": ("int", 1),
         "SPECint_rate": ("int", None),
     }
+    core_count = broadwell_desktop(tdp_levels_w[0]).core_count
+    suites = {
+        group: spec_cpu2006_suite(active_cores=cores or core_count, category=category)
+        for group, (category, cores) in groups.items()
+    }
+    baseline = get_spec("broadwell-baseline")
+    reduced = baseline.variant(
+        name="broadwell-reduced", guardband_offset_v=-guardband_reduction_v
+    )
+    study = Study.over_tdp_levels(
+        (baseline, reduced), tdp_levels_w, suites, name="fig3"
+    )
+    grid = study.run()
     improvements: Dict[str, List[float]] = {name: [] for name in groups}
     for tdp in tdp_levels_w:
-        processor = broadwell_desktop(tdp)
-        baseline = Pcode(processor, FuseSet.legacy_desktop())
-        reduced_model = OffsetGuardbandModel(
-            GuardbandModel(configuration=processor.package.pdn),
-            offset_v=-guardband_reduction_v,
-        )
-        reduced = Pcode(
-            processor, FuseSet.legacy_desktop(), guardband_model=reduced_model
-        )
-        baseline_engine = SimulationEngine(baseline)
-        reduced_engine = SimulationEngine(reduced)
-        for group, (category, cores) in groups.items():
-            active = cores or processor.core_count
-            suite = spec_cpu2006_suite(active_cores=active, category=category)
+        before_spec = baseline.variant(tdp_w=tdp)
+        after_spec = reduced.variant(tdp_w=tdp)
+        for group, suite in suites.items():
             gains = []
             for workload in suite:
-                before = baseline_engine.run_cpu_workload(workload)
-                after = reduced_engine.run_cpu_workload(workload)
+                before = grid.get(before_spec, workload, suite=group)
+                after = grid.get(after_spec, workload, suite=group)
                 gains.append(after.improvement_over(before))
             improvements[group].append(sum(gains) / len(gains))
     return Fig3Result(tdp_levels_w=tuple(tdp_levels_w), improvements=improvements)
@@ -132,8 +134,10 @@ class Fig4Result:
         )
 
 
-def run_fig4_impedance_profiles(points_per_decade: int = 40) -> Fig4Result:
-    """Reproduce Fig. 4: the impedance-frequency profile of both PDNs."""
+def _impedance_profiles(
+    points_per_decade: int,
+) -> Tuple[ImpedanceProfile, ImpedanceProfile]:
+    """Sweep the gated and bypassed PDNs on a shared frequency grid."""
     gated_cfg = PdnConfiguration()
     bypassed_cfg = gated_cfg.with_bypass()
     profiles = {}
@@ -151,7 +155,21 @@ def run_fig4_impedance_profiles(points_per_decade: int = 40) -> Fig4Result:
         if frequencies is None:
             frequencies = [p.frequency_hz for p in profile.points]
         profiles[label] = profile
-    return Fig4Result(gated=profiles["gated"], bypassed=profiles["bypassed"])
+    return profiles["gated"], profiles["bypassed"]
+
+
+def run_fig4_impedance_profiles(points_per_decade: int = 40) -> Fig4Result:
+    """Reproduce Fig. 4: the impedance-frequency profile of both PDNs."""
+    study = Study(
+        tasks=(
+            CallableTask(
+                key="profiles", fn=_impedance_profiles, args=(points_per_decade,)
+            ),
+        ),
+        name="fig4",
+    )
+    gated, bypassed = study.run().task("profiles")
+    return Fig4Result(gated=gated, bypassed=bypassed)
 
 
 # ---------------------------------------------------------------------------
@@ -207,13 +225,16 @@ class Fig7Result:
 
 def run_fig7_spec_per_benchmark(tdp_w: float = 91.0) -> Fig7Result:
     """Reproduce Fig. 7: per-benchmark SPEC gains of DarkGates at 91 W."""
-    comparison = SystemComparison(tdp_w)
+    darkgates = get_spec("darkgates", tdp_w=tdp_w)
+    baseline = get_spec("baseline", tdp_w=tdp_w)
     suite = spec_cpu2006_suite(active_cores=1)
+    grid = Study((darkgates, baseline), suite, name="fig7").run()
     improvements = {}
     scalability = {}
     for workload in suite:
-        result = comparison.compare_cpu(workload)
-        improvements[workload.name] = result.performance_improvement
+        after = grid.get(darkgates, workload)
+        before = grid.get(baseline, workload)
+        improvements[workload.name] = after.improvement_over(before)
         scalability[workload.name] = workload.frequency_scalability
     return Fig7Result(
         tdp_w=tdp_w,
@@ -257,15 +278,33 @@ def run_fig8_spec_tdp_sweep(
     tdp_levels_w: Tuple[float, ...] = SKYLAKE_TDP_LEVELS_W,
 ) -> Fig8Result:
     """Reproduce Fig. 8: average SPEC gains across the TDP sweep."""
+    darkgates = get_spec("darkgates")
+    baseline = get_spec("baseline")
+    core_count = SKU_BUILDERS[darkgates.sku](darkgates.tdp_w).core_count
+    suites = {
+        "base": spec_cpu2006_suite(active_cores=1),
+        "rate": spec_cpu2006_suite(active_cores=core_count),
+    }
+    study = Study.over_tdp_levels(
+        (darkgates, baseline), tdp_levels_w, suites, name="fig8"
+    )
+    grid = study.run()
     base_improvements = []
     rate_improvements = []
     for tdp in tdp_levels_w:
-        comparison = SystemComparison(tdp)
-        core_count = comparison.darkgates_engine.pcode.processor.core_count
-        base_suite = spec_cpu2006_suite(active_cores=1)
-        rate_suite = spec_cpu2006_suite(active_cores=core_count)
-        base_improvements.append(comparison.average_cpu_improvement(base_suite))
-        rate_improvements.append(comparison.average_cpu_improvement(rate_suite))
+        after_spec = darkgates.variant(tdp_w=tdp)
+        before_spec = baseline.variant(tdp_w=tdp)
+        for suite_name, out in (
+            ("base", base_improvements),
+            ("rate", rate_improvements),
+        ):
+            gains = [
+                grid.get(after_spec, w, suite=suite_name).improvement_over(
+                    grid.get(before_spec, w, suite=suite_name)
+                )
+                for w in suites[suite_name]
+            ]
+            out.append(sum(gains) / len(gains))
     return Fig8Result(
         tdp_levels_w=tuple(tdp_levels_w),
         base_improvements=base_improvements,
@@ -305,11 +344,22 @@ def run_fig9_graphics_degradation(
     tdp_levels_w: Tuple[float, ...] = SKYLAKE_TDP_LEVELS_W,
 ) -> Fig9Result:
     """Reproduce Fig. 9: 3DMark degradation of DarkGates per TDP level."""
+    darkgates = get_spec("darkgates")
+    baseline = get_spec("baseline")
     suite = three_dmark_suite()
+    study = Study.over_tdp_levels(
+        (darkgates, baseline), tdp_levels_w, suite, name="fig9"
+    )
+    grid = study.run()
     degradations = []
     for tdp in tdp_levels_w:
-        comparison = SystemComparison(tdp)
-        degradations.append(comparison.average_graphics_degradation(suite))
+        after_spec = darkgates.variant(tdp_w=tdp)
+        before_spec = baseline.variant(tdp_w=tdp)
+        losses = [
+            grid.get(after_spec, w).degradation_from(grid.get(before_spec, w))
+            for w in suite
+        ]
+        degradations.append(sum(losses) / len(losses))
     return Fig9Result(
         tdp_levels_w=tuple(tdp_levels_w), average_degradation=degradations
     )
@@ -360,22 +410,30 @@ class Fig10Result:
 
 def run_fig10_energy_efficiency(tdp_w: float = 91.0) -> Fig10Result:
     """Reproduce Fig. 10: ENERGY STAR and RMT average-power reductions."""
-    comparison = SystemComparison(tdp_w)
+    darkgates_c8 = get_spec("darkgates", tdp_w=tdp_w)
+    darkgates_c7 = get_spec("darkgates+c7", tdp_w=tdp_w)
+    baseline_c7 = get_spec("baseline", tdp_w=tdp_w)
+    scenarios = (energy_star_scenario(), rmt_scenario())
+    grid = Study(
+        (darkgates_c8, darkgates_c7, baseline_c7), scenarios, name="fig10"
+    ).run()
     reductions: Dict[str, Tuple[float, float]] = {}
     compliance: Dict[str, Tuple[bool, bool, bool]] = {}
     reference: Dict[str, float] = {}
-    for scenario in (energy_star_scenario(), rmt_scenario()):
-        result = comparison.compare_energy(scenario)
+    for scenario in scenarios:
+        c7 = grid.get(darkgates_c7, scenario)
+        c8 = grid.get(darkgates_c8, scenario)
+        baseline = grid.get(baseline_c7, scenario)
         reductions[scenario.name] = (
-            result.darkgates_c8_reduction,
-            result.baseline_c7_reduction,
+            c8.reduction_from(c7),
+            baseline.reduction_from(c7),
         )
         compliance[scenario.name] = (
-            result.darkgates_c7.meets_limit,
-            result.darkgates_c8.meets_limit,
-            result.baseline_c7.meets_limit,
+            c7.meets_limit,
+            c8.meets_limit,
+            baseline.meets_limit,
         )
-        reference[scenario.name] = result.darkgates_c7.average_power_w
+        reference[scenario.name] = c7.average_power_w
     return Fig10Result(
         reductions=reductions,
         limit_compliance=compliance,
@@ -389,12 +447,16 @@ def run_fig10_energy_efficiency(tdp_w: float = 91.0) -> Fig10Result:
 
 def run_table1_package_cstates() -> List[Tuple[str, str]]:
     """Reproduce Table 1: package C-states and their entry conditions."""
-    return table1_rows()
+    study = Study(tasks=(CallableTask(key="table1", fn=table1_rows),), name="table1")
+    return study.run().task("table1")
 
 
 def run_table2_system_parameters() -> Tuple[SkuDescription, SkuDescription]:
     """Reproduce Table 2: parameters of the evaluated systems."""
-    return sku_descriptions()
+    study = Study(
+        tasks=(CallableTask(key="table2", fn=sku_descriptions),), name="table2"
+    )
+    return study.run().task("table2")
 
 
 @dataclass(frozen=True)
@@ -405,10 +467,21 @@ class ReliabilityResult:
     low_tdp_guardband_v: float
 
 
+def _sec42_guardbands() -> Tuple[float, float]:
+    model = ReliabilityGuardbandModel()
+    return (
+        model.guardband_for_high_tdp_desktop(),
+        model.guardband_for_low_tdp_desktop(),
+    )
+
+
 def run_sec42_reliability_guardband() -> ReliabilityResult:
     """Reproduce the Section 4.2 reliability guardband estimates."""
-    model = ReliabilityGuardbandModel()
+    study = Study(
+        tasks=(CallableTask(key="sec42", fn=_sec42_guardbands),), name="sec42"
+    )
+    high, low = study.run().task("sec42")
     return ReliabilityResult(
-        high_tdp_guardband_v=model.guardband_for_high_tdp_desktop(),
-        low_tdp_guardband_v=model.guardband_for_low_tdp_desktop(),
+        high_tdp_guardband_v=high,
+        low_tdp_guardband_v=low,
     )

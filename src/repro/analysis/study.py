@@ -1,0 +1,497 @@
+"""Declarative sweep studies over system specs and workload suites.
+
+A :class:`Study` declares a grid — system specs x workload suites (and,
+via :meth:`Study.over_tdp_levels`, x TDP levels) — and executes every cell
+through a pluggable executor:
+
+* :class:`SerialExecutor` runs cells in the calling process (default);
+* :class:`ProcessExecutor` fans cells out over a
+  :mod:`concurrent.futures` process pool.
+
+Results are cached per (spec, workload): re-running a study (or another
+study sharing the same cache mapping) re-executes nothing.  The outcome is
+a :class:`StudyResult`, which serialises to JSON and renders through
+:func:`repro.analysis.reporting.format_table`.
+
+Example::
+
+    from repro.analysis.study import Study
+    from repro.workloads.spec import spec_cpu2006_base_suite
+
+    study = Study.over_tdp_levels(
+        ("darkgates", "baseline"),
+        tdp_levels_w=(35.0, 91.0),
+        workloads=spec_cpu2006_base_suite(),
+    )
+    result = study.run()
+    print(result.as_table())
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.reporting import format_table
+from repro.common.errors import ConfigurationError
+from repro.core.spec import SystemSpec, build_engine, resolve_spec
+from repro.sim.metrics import RunResult
+from repro.workloads.descriptors import Workload
+
+#: The default suite name used when a study is given a flat workload list.
+DEFAULT_SUITE = "default"
+
+#: The pseudo-suite under which callable-task results are filed.
+TASK_SUITE = "tasks"
+
+
+# -- tasks -----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EngineTask:
+    """One grid cell: run one workload on the system built from one spec."""
+
+    spec: SystemSpec
+    workload: Workload
+
+
+@dataclass(frozen=True)
+class CallableTask:
+    """An escape hatch for study steps that are not engine runs.
+
+    The callable must be a module-level function (so that the process-pool
+    executor can pickle it) and the arguments must be hashable (so that the
+    task can key the result cache).
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+
+
+StudyTask = Union[EngineTask, CallableTask]
+
+
+def execute_task(task: StudyTask) -> Any:
+    """Execute one study task (module-level so process pools can pickle it).
+
+    Engine tasks go through the shared :func:`repro.core.spec.build_engine`
+    cache, so workers of a process pool each build a spec's engine at most
+    once, no matter how many cells they execute.
+    """
+    if isinstance(task, EngineTask):
+        return build_engine(task.spec).run(task.workload)
+    return task.fn(*task.args)
+
+
+# -- executors -------------------------------------------------------------------------
+
+
+class SerialExecutor:
+    """Runs every task in the calling process, in order."""
+
+    def run_tasks(self, tasks: Sequence[StudyTask]) -> List[Any]:
+        """Execute *tasks* and return their results in order."""
+        return [execute_task(task) for task in tasks]
+
+
+class ProcessExecutor:
+    """Fans tasks out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the interpreter's own default (CPU count).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self._max_workers = max_workers
+
+    def run_tasks(self, tasks: Sequence[StudyTask]) -> List[Any]:
+        """Execute *tasks* across the pool, preserving order."""
+        if not tasks:
+            return []
+        workers = self._max_workers or os.cpu_count() or 1
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with futures.ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+            return list(pool.map(execute_task, tasks, chunksize=chunksize))
+
+
+Executor = Union[SerialExecutor, ProcessExecutor]
+
+_EXECUTORS: Dict[str, Callable[[], Executor]] = {
+    "serial": SerialExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def resolve_executor(
+    executor: Union[str, Executor], max_workers: Optional[int] = None
+) -> Executor:
+    """Turn an executor name (or pass an executor object through)."""
+    if isinstance(executor, str):
+        try:
+            factory = _EXECUTORS[executor]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; known: {sorted(_EXECUTORS)}"
+            ) from None
+        if executor == "process":
+            return ProcessExecutor(max_workers=max_workers)
+        return factory()
+    if not hasattr(executor, "run_tasks"):
+        raise ConfigurationError(
+            f"executor must be 'serial', 'process', or expose run_tasks(); "
+            f"got {type(executor).__name__}"
+        )
+    return executor
+
+
+# -- results ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StudyCell:
+    """One completed cell of a study grid."""
+
+    spec: Optional[SystemSpec]  # None for callable tasks
+    suite: str
+    workload_name: str
+    value: Any
+
+    @property
+    def label(self) -> str:
+        """Display label of the system column ("-" for callable tasks)."""
+        return self.spec.label if self.spec is not None else "-"
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """The completed grid of a study, addressable by (spec, workload)."""
+
+    name: str
+    cells: Tuple[StudyCell, ...]
+    _index: Dict[Tuple[Optional[SystemSpec], str, str], Any] = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        index: Dict[Tuple[Optional[SystemSpec], str, str], Any] = {}
+        for cell in self.cells:
+            index[(cell.spec, cell.suite, cell.workload_name)] = cell.value
+        object.__setattr__(self, "_index", index)
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def get(
+        self,
+        spec: Union[SystemSpec, str],
+        workload: Union[Workload, str],
+        suite: str = DEFAULT_SUITE,
+    ) -> Any:
+        """The value of one engine cell.
+
+        *spec* may be a :class:`SystemSpec` or a registered name; *workload*
+        may be a descriptor or its name.
+        """
+        resolved = resolve_spec(spec)
+        workload_name = workload if isinstance(workload, str) else workload.name
+        try:
+            return self._index[(resolved, suite, workload_name)]
+        except KeyError:
+            raise ConfigurationError(
+                f"study {self.name!r} has no cell "
+                f"({resolved.label}, {suite!r}, {workload_name!r})"
+            ) from None
+
+    def task(self, key: str) -> Any:
+        """The value of one callable task."""
+        try:
+            return self._index[(None, TASK_SUITE, key)]
+        except KeyError:
+            raise ConfigurationError(
+                f"study {self.name!r} has no task {key!r}"
+            ) from None
+
+    def specs(self) -> Tuple[SystemSpec, ...]:
+        """Distinct specs in grid order."""
+        seen: Dict[SystemSpec, None] = {}
+        for cell in self.cells:
+            if cell.spec is not None:
+                seen.setdefault(cell.spec)
+        return tuple(seen)
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def as_table(self, title: Optional[str] = None) -> str:
+        """Render every engine cell's headline metric as a text table."""
+        rows = []
+        for cell in self.cells:
+            if isinstance(cell.value, RunResult):
+                metric = f"{cell.value.primary_metric:.4f}"
+            else:
+                metric = str(cell.value)
+            rows.append([cell.label, cell.suite, cell.workload_name, metric])
+        return format_table(
+            ["system", "suite", "workload", "metric"],
+            rows,
+            title=self.name if title is None else title,
+        )
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise this result to a JSON document.
+
+        Engine cells always serialise (their values are :class:`RunResult`
+        objects); callable-task values must themselves be JSON-encodable,
+        and tuples inside them come back as lists.
+        """
+        payload = {
+            "name": self.name,
+            "cells": [
+                {
+                    "spec": cell.spec.to_dict() if cell.spec is not None else None,
+                    "suite": cell.suite,
+                    "workload": cell.workload_name,
+                    "value_kind": (
+                        "run_result" if isinstance(cell.value, RunResult) else "json"
+                    ),
+                    "value": (
+                        cell.value.to_dict()
+                        if isinstance(cell.value, RunResult)
+                        else cell.value
+                    ),
+                }
+                for cell in self.cells
+            ],
+        }
+        try:
+            return json.dumps(payload, indent=indent)
+        except TypeError as error:
+            raise ConfigurationError(
+                f"study {self.name!r} holds a non-JSON-serialisable task "
+                f"value: {error}"
+            ) from None
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudyResult":
+        """Rebuild a study result from :meth:`to_json` output.
+
+        Engine cells come back as fully-typed :class:`RunResult` objects;
+        callable-task values come back as the plain JSON values they were
+        stored as.
+        """
+        payload = json.loads(text)
+        cells = []
+        for entry in payload["cells"]:
+            spec = (
+                SystemSpec.from_dict(entry["spec"])
+                if entry["spec"] is not None
+                else None
+            )
+            value = entry["value"]
+            if entry["value_kind"] == "run_result":
+                value = RunResult.from_dict(value)
+            cells.append(
+                StudyCell(
+                    spec=spec,
+                    suite=entry["suite"],
+                    workload_name=entry["workload"],
+                    value=value,
+                )
+            )
+        return cls(name=payload["name"], cells=tuple(cells))
+
+
+# -- the study runner ------------------------------------------------------------------
+
+
+WorkloadSuites = Union[Sequence[Workload], Mapping[str, Sequence[Workload]]]
+
+
+class Study:
+    """A declarative sweep: specs x workload suites, cached and executable.
+
+    Parameters
+    ----------
+    specs:
+        System specs (or registered spec names) forming one grid axis.
+    workloads:
+        Either a flat workload sequence (filed under the ``"default"``
+        suite) or a mapping of suite name -> workload sequence.
+    tasks:
+        Extra :class:`CallableTask` steps to execute alongside the grid.
+    executor:
+        ``"serial"`` (default), ``"process"``, or any object exposing
+        ``run_tasks(tasks) -> results``.
+    max_workers:
+        Pool size when *executor* is ``"process"``.
+    cache:
+        Mapping of task -> result shared between runs (and, if passed to
+        several studies, between studies).  Defaults to a fresh dict.
+    name:
+        Study name used in reports.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[Union[SystemSpec, str]] = (),
+        workloads: WorkloadSuites = (),
+        *,
+        tasks: Sequence[CallableTask] = (),
+        executor: Union[str, Executor] = "serial",
+        max_workers: Optional[int] = None,
+        cache: Optional[MutableMapping[StudyTask, Any]] = None,
+        name: str = "study",
+    ) -> None:
+        self._name = name
+        self._specs = tuple(resolve_spec(spec) for spec in specs)
+        self._suites = self._normalise_suites(workloads)
+        self._extra_tasks = tuple(tasks)
+        self._executor = resolve_executor(executor, max_workers=max_workers)
+        self._cache: MutableMapping[StudyTask, Any] = (
+            cache if cache is not None else {}
+        )
+        self._tasks_executed = 0
+        self._grid = self._build_grid()
+
+    @staticmethod
+    def _normalise_suites(
+        workloads: WorkloadSuites,
+    ) -> Dict[str, Tuple[Workload, ...]]:
+        if isinstance(workloads, Mapping):
+            suites = {name: tuple(suite) for name, suite in workloads.items()}
+        else:
+            suites = {DEFAULT_SUITE: tuple(workloads)} if workloads else {}
+        for suite_name, suite in suites.items():
+            if suite_name == TASK_SUITE:
+                raise ConfigurationError(
+                    f"suite name {TASK_SUITE!r} is reserved for callable tasks"
+                )
+            names = [w.name for w in suite]
+            if len(set(names)) != len(names):
+                raise ConfigurationError(
+                    f"suite {suite_name!r} has duplicate workload names"
+                )
+        return suites
+
+    def _build_grid(self) -> Tuple[Tuple[str, str, StudyTask], ...]:
+        # Each grid entry is (suite, workload_name, task); callable tasks are
+        # filed under the reserved TASK_SUITE.  Identical (spec, workload)
+        # pairs appearing in several suites share one task (and one result).
+        grid: List[Tuple[str, str, StudyTask]] = []
+        for spec in self._specs:
+            for suite_name, suite in self._suites.items():
+                for workload in suite:
+                    grid.append(
+                        (suite_name, workload.name, EngineTask(spec, workload))
+                    )
+        for task in self._extra_tasks:
+            if not isinstance(task, CallableTask):
+                raise ConfigurationError(
+                    f"tasks must be CallableTask instances, got {type(task).__name__}"
+                )
+            grid.append((TASK_SUITE, task.key, task))
+        if len(set(grid)) != len(grid):
+            raise ConfigurationError("study grid contains duplicate cells")
+        return tuple(grid)
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Study name."""
+        return self._name
+
+    @property
+    def specs(self) -> Tuple[SystemSpec, ...]:
+        """The spec axis of the grid."""
+        return self._specs
+
+    @property
+    def suites(self) -> Dict[str, Tuple[Workload, ...]]:
+        """The workload suites of the grid."""
+        return dict(self._suites)
+
+    @property
+    def cache(self) -> MutableMapping[StudyTask, Any]:
+        """The task-result cache backing this study."""
+        return self._cache
+
+    @property
+    def tasks_executed(self) -> int:
+        """Cumulative number of tasks actually executed (cache misses)."""
+        return self._tasks_executed
+
+    def __len__(self) -> int:
+        return len(self._grid)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self) -> StudyResult:
+        """Execute every uncached cell and return the completed grid.
+
+        Distinct tasks run through the executor once; results are cached so
+        a repeat ``run()`` (or an overlapping study sharing the cache)
+        executes nothing.
+        """
+        seen: Dict[StudyTask, None] = {}
+        for _, _, task in self._grid:
+            if task not in self._cache:
+                seen.setdefault(task)
+        pending: List[StudyTask] = list(seen)
+        if pending:
+            results = self._executor.run_tasks(pending)
+            for task, result in zip(pending, results):
+                self._cache[task] = result
+            self._tasks_executed += len(pending)
+        cells = tuple(
+            StudyCell(
+                spec=task.spec if isinstance(task, EngineTask) else None,
+                suite=suite,
+                workload_name=workload_name,
+                value=self._cache[task],
+            )
+            for suite, workload_name, task in self._grid
+        )
+        return StudyResult(name=self._name, cells=cells)
+
+    # -- construction helpers ----------------------------------------------------------
+
+    @classmethod
+    def over_tdp_levels(
+        cls,
+        specs: Sequence[Union[SystemSpec, str]],
+        tdp_levels_w: Iterable[float],
+        workloads: WorkloadSuites,
+        **kwargs: Any,
+    ) -> "Study":
+        """A grid of spec variants across a TDP sweep.
+
+        Expands every spec to one variant per TDP level (TDP-major order:
+        all specs at the first level, then all at the next).
+        """
+        resolved = [resolve_spec(spec) for spec in specs]
+        expanded = [
+            spec.variant(tdp_w=tdp) for tdp in tdp_levels_w for spec in resolved
+        ]
+        return cls(expanded, workloads, **kwargs)

@@ -4,14 +4,21 @@ The rest of the library provides substrates (PDN, power, SoC, firmware,
 workloads, simulation); this package assembles them into the systems the
 paper evaluates and exposes the comparison API a user actually wants:
 
-* :func:`darkgates_system` — a Skylake-S desktop with power-gates bypassed,
-  bypass-mode firmware, the reliability guardband adjustment, and package C8.
-* :func:`baseline_system` — the Skylake-H-style baseline with power-gates
-  enabled and package C7.
-* :class:`SystemComparison` — runs the same workload on both systems and
-  reports the improvement/degradation numbers of Figs. 7-10.
+* :class:`SystemSpec` — a declarative, frozen description of one system
+  (SKU, segment, TDP, power-delivery mode, deepest package C-state,
+  guardband options) with ``.build()``, ``.variant()``, and a registry of
+  the named configurations the paper evaluates (``get_spec("darkgates")``,
+  ``get_spec("baseline")``, ``get_spec("darkgates+c7")``, and the Broadwell
+  motivation configs).
+* :class:`SystemComparison` — runs the same workload on the DarkGates and
+  baseline systems and reports the improvement/degradation numbers of
+  Figs. 7-10.
 * :mod:`repro.core.overhead` — the implementation-cost accounting of
   Section 5.
+
+The legacy factory trio (:func:`darkgates_system`, :func:`baseline_system`,
+:func:`darkgates_c7_limited_system`) remains as deprecated shims over the
+spec registry.
 """
 
 from repro.core.darkgates import (
@@ -21,9 +28,25 @@ from repro.core.darkgates import (
     darkgates_system,
 )
 from repro.core.overhead import ImplementationOverheads, darkgates_overheads
+from repro.core.spec import (
+    SKU_BUILDERS,
+    SystemSpec,
+    build_engine,
+    get_spec,
+    register_spec,
+    resolve_spec,
+    spec_names,
+)
 
 __all__ = [
     "SystemComparison",
+    "SystemSpec",
+    "SKU_BUILDERS",
+    "build_engine",
+    "get_spec",
+    "register_spec",
+    "resolve_spec",
+    "spec_names",
     "baseline_system",
     "darkgates_c7_limited_system",
     "darkgates_system",

@@ -1,7 +1,12 @@
 """DarkGates system construction and baseline comparison.
 
-This module is the top of the stack: it builds the exact system
-configurations the paper evaluates and compares them.
+This module is the top of the stack: it compares the exact system
+configurations the paper evaluates.  The configurations themselves are
+declared in :mod:`repro.core.spec` — ``get_spec("darkgates")``,
+``get_spec("baseline")``, and ``get_spec("darkgates+c7")`` — and the legacy
+factory trio (:func:`darkgates_system`, :func:`baseline_system`,
+:func:`darkgates_c7_limited_system`) remains as thin deprecated shims over
+those specs.
 
 Three configurations appear in the evaluation:
 
@@ -18,46 +23,43 @@ Three configurations appear in the evaluation:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.common.errors import ConfigurationError
-from repro.pmu.fuses import FuseSet, PowerDeliveryMode
+from repro.core.spec import get_spec
 from repro.pmu.pcode import Pcode
-from repro.reliability.guardband import ReliabilityGuardbandModel
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import CpuRunResult, EnergyRunResult, GraphicsRunResult
-from repro.soc.skus import skylake_h_mobile, skylake_s_desktop
 from repro.workloads.descriptors import CpuWorkload, EnergyScenario, GraphicsWorkload
 
 
-def _reliability_margin_for_tdp(tdp_w: float) -> float:
-    """Bypass-mode reliability guardband for a TDP configuration.
-
-    Interpolates between the paper's two anchor points (< 5 mV at 91 W and
-    < 20 mV at 35 W) using the reliability model.
-    """
-    model = ReliabilityGuardbandModel()
-    low = model.guardband_for_low_tdp_desktop()
-    high = model.guardband_for_high_tdp_desktop()
-    if tdp_w <= 35.0:
-        return low
-    if tdp_w >= 91.0:
-        return high
-    fraction = (tdp_w - 35.0) / (91.0 - 35.0)
-    return low + fraction * (high - low)
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def darkgates_system(
     tdp_w: float = 91.0, apply_reliability_guardband: bool = True
 ) -> Pcode:
-    """Build the DarkGates desktop system at one TDP configuration."""
-    margin = _reliability_margin_for_tdp(tdp_w) if apply_reliability_guardband else 0.0
-    return Pcode(
-        processor=skylake_s_desktop(tdp_w),
-        fuses=FuseSet.darkgates_desktop(),
-        reliability_margin_v=margin,
+    """Build the DarkGates desktop system at one TDP configuration.
+
+    .. deprecated:: 1.1
+       Use ``get_spec("darkgates").variant(tdp_w=...).build()`` instead.
+    """
+    _warn_deprecated(
+        "darkgates_system()",
+        'get_spec("darkgates").variant(tdp_w=...).build()',
     )
+    return get_spec(
+        "darkgates",
+        tdp_w=tdp_w,
+        apply_reliability_guardband=apply_reliability_guardband,
+    ).build()
 
 
 def darkgates_c7_limited_system(tdp_w: float = 91.0) -> Pcode:
@@ -65,25 +67,28 @@ def darkgates_c7_limited_system(tdp_w: float = 91.0) -> Pcode:
 
     This is the Fig. 10 reference configuration ("DarkGates+C7"): it shows
     why the third DarkGates technique (package C8 for desktops) is required.
+
+    .. deprecated:: 1.1
+       Use ``get_spec("darkgates+c7").variant(tdp_w=...).build()`` instead.
     """
-    fuses = FuseSet(
-        power_delivery_mode=PowerDeliveryMode.BYPASS,
-        deepest_package_cstate="C7",
-        segment="desktop",
+    _warn_deprecated(
+        "darkgates_c7_limited_system()",
+        'get_spec("darkgates+c7").variant(tdp_w=...).build()',
     )
-    return Pcode(
-        processor=skylake_s_desktop(tdp_w),
-        fuses=fuses,
-        reliability_margin_v=_reliability_margin_for_tdp(tdp_w),
-    )
+    return get_spec("darkgates+c7", tdp_w=tdp_w).build()
 
 
 def baseline_system(tdp_w: float = 91.0) -> Pcode:
-    """Build the baseline (power-gates enabled, package C7) system."""
-    return Pcode(
-        processor=skylake_h_mobile(tdp_w),
-        fuses=FuseSet.legacy_desktop(),
+    """Build the baseline (power-gates enabled, package C7) system.
+
+    .. deprecated:: 1.1
+       Use ``get_spec("baseline").variant(tdp_w=...).build()`` instead.
+    """
+    _warn_deprecated(
+        "baseline_system()",
+        'get_spec("baseline").variant(tdp_w=...).build()',
     )
+    return get_spec("baseline", tdp_w=tdp_w).build()
 
 
 @dataclass(frozen=True)
@@ -153,9 +158,11 @@ class SystemComparison:
         if tdp_w <= 0:
             raise ConfigurationError("tdp_w must be positive")
         self._tdp_w = tdp_w
-        self._darkgates = SimulationEngine(darkgates_system(tdp_w))
-        self._baseline = SimulationEngine(baseline_system(tdp_w))
-        self._darkgates_c7 = SimulationEngine(darkgates_c7_limited_system(tdp_w))
+        self._darkgates = SimulationEngine(get_spec("darkgates", tdp_w=tdp_w).build())
+        self._baseline = SimulationEngine(get_spec("baseline", tdp_w=tdp_w).build())
+        self._darkgates_c7 = SimulationEngine(
+            get_spec("darkgates+c7", tdp_w=tdp_w).build()
+        )
 
     # -- properties -------------------------------------------------------------------
 

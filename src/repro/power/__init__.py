@@ -18,7 +18,7 @@ built on:
 from repro.power.budget import DomainPower, PowerBudget
 from repro.power.cdyn import ActivityCdyn, CdynTable
 from repro.power.dynamic import DynamicPowerModel
-from repro.power.leakage import LeakagePowerModel
+from repro.power.leakage import NOMINAL_SILICON_TEMPERATURE_C, LeakagePowerModel
 from repro.power.thermal import ThermalLimits, ThermalModel
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "CdynTable",
     "DynamicPowerModel",
     "LeakagePowerModel",
+    "NOMINAL_SILICON_TEMPERATURE_C",
     "ThermalLimits",
     "ThermalModel",
 ]

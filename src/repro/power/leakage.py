@@ -18,6 +18,12 @@ from dataclasses import dataclass
 
 from repro.common.validation import ensure_non_negative, ensure_positive
 
+#: Nominal silicon temperature (deg C) at which leakage is characterised.
+#: Shared by the leakage reference point and the simulation engine's
+#: idle-platform wake phases, whose short bursts never heat the die far from
+#: this point.
+NOMINAL_SILICON_TEMPERATURE_C = 60.0
+
 
 @dataclass(frozen=True)
 class LeakagePowerModel:
@@ -46,7 +52,7 @@ class LeakagePowerModel:
 
     reference_power_w: float
     reference_voltage_v: float = 1.0
-    reference_temperature_c: float = 60.0
+    reference_temperature_c: float = NOMINAL_SILICON_TEMPERATURE_C
     voltage_sensitivity_per_v: float = 3.0
     temperature_sensitivity_per_c: float = 0.017
 

@@ -17,6 +17,11 @@ from dataclasses import dataclass
 from repro.common.validation import ensure_in_range, ensure_positive
 from repro.reliability.aging import AgingModel, StressProfile
 
+#: TDP anchor points between which :meth:`ReliabilityGuardbandModel.margin_for_tdp`
+#: interpolates (the paper quotes guardbands at exactly these two desktops).
+LOW_TDP_ANCHOR_W = 35.0
+HIGH_TDP_ANCHOR_W = 91.0
+
 
 @dataclass(frozen=True)
 class ReliabilityGuardbandModel:
@@ -97,3 +102,19 @@ class ReliabilityGuardbandModel:
         return self.guardband_v(
             tdp_w=35.0, baseline_powered_fraction=0.60, average_temperature_c=66.0
         )
+
+    def margin_for_tdp(self, tdp_w: float) -> float:
+        """Bypass-mode reliability guardband for an arbitrary TDP configuration.
+
+        Interpolates linearly between the paper's two anchor points
+        (< 20 mV at 35 W, < 5 mV at 91 W) and clamps outside them.
+        """
+        ensure_positive(tdp_w, "tdp_w")
+        low = self.guardband_for_low_tdp_desktop()
+        high = self.guardband_for_high_tdp_desktop()
+        if tdp_w <= LOW_TDP_ANCHOR_W:
+            return low
+        if tdp_w >= HIGH_TDP_ANCHOR_W:
+            return high
+        fraction = (tdp_w - LOW_TDP_ANCHOR_W) / (HIGH_TDP_ANCHOR_W - LOW_TDP_ANCHOR_W)
+        return low + fraction * (high - low)

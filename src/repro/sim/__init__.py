@@ -4,7 +4,9 @@ Runs workload descriptors against a firmware-configured processor
 (:class:`~repro.pmu.pcode.Pcode`) and reports the metrics the paper's
 evaluation is built from: relative performance for CPU and graphics
 workloads, average power for energy scenarios, and idle-state residencies
-for phase traces.
+for phase traces.  :meth:`SimulationEngine.run` accepts any workload class
+polymorphically and returns the matching :class:`RunResult` subtype, all of
+which round-trip through JSON via ``to_dict()`` / ``RunResult.from_dict()``.
 
 * :mod:`repro.sim.metrics` — result dataclasses.
 * :mod:`repro.sim.engine` — the engine itself.
@@ -17,11 +19,13 @@ from repro.sim.metrics import (
     EnergyRunResult,
     GraphicsRunResult,
     PhaseEnergy,
+    RunResult,
 )
 from repro.sim.residency import ResidencyReport, ResidencyTracker
 
 __all__ = [
     "SimulationEngine",
+    "RunResult",
     "CpuRunResult",
     "EnergyRunResult",
     "GraphicsRunResult",

@@ -9,22 +9,39 @@ workload class (relative SPEC score, relative FPS, average power).
 
 from __future__ import annotations
 
+from typing import Dict
+
 from repro.common.errors import ConfigurationError
 from repro.pmu.cstates import PackageCState
 from repro.pmu.dvfs import CpuDemand
 from repro.pmu.pbm import GraphicsDemand
 from repro.pmu.pcode import Pcode
+from repro.power.leakage import NOMINAL_SILICON_TEMPERATURE_C
 from repro.sim.metrics import (
     CpuRunResult,
     EnergyRunResult,
     GraphicsRunResult,
     PhaseEnergy,
+    RunResult,
 )
-from repro.workloads.descriptors import CpuWorkload, EnergyScenario, GraphicsWorkload
+from repro.workloads.descriptors import (
+    CpuWorkload,
+    EnergyScenario,
+    GraphicsWorkload,
+    ScenarioPhase,
+    Workload,
+)
 
 
 class SimulationEngine:
     """Runs workloads on one firmware-configured system."""
+
+    #: Workload ``kind`` tag -> bound-method name implementing that class.
+    _DISPATCH: Dict[str, str] = {
+        CpuWorkload.kind: "run_cpu_workload",
+        GraphicsWorkload.kind: "run_graphics_workload",
+        EnergyScenario.kind: "run_energy_scenario",
+    }
 
     def __init__(self, pcode: Pcode) -> None:
         self._pcode = pcode
@@ -33,6 +50,24 @@ class SimulationEngine:
     def pcode(self) -> Pcode:
         """The firmware configuration this engine simulates."""
         return self._pcode
+
+    # -- polymorphic entry point -------------------------------------------------------
+
+    def run(self, workload: Workload) -> RunResult:
+        """Run any workload, dispatching on its ``kind`` tag.
+
+        The single entry point behind which the per-class methods sit:
+        :class:`CpuWorkload` -> :class:`CpuRunResult`,
+        :class:`GraphicsWorkload` -> :class:`GraphicsRunResult`,
+        :class:`EnergyScenario` -> :class:`EnergyRunResult`.
+        """
+        method_name = self._DISPATCH.get(getattr(workload, "kind", None))
+        if method_name is None:
+            raise ConfigurationError(
+                f"cannot run {type(workload).__name__!s}: not a workload "
+                f"(expected a kind tag in {sorted(self._DISPATCH)})"
+            )
+        return getattr(self, method_name)(workload)
 
     # -- CPU workloads -----------------------------------------------------------------
 
@@ -90,7 +125,7 @@ class SimulationEngine:
             average_power_limit_w=scenario.average_power_limit_w,
         )
 
-    def _phase_power_w(self, phase) -> float:
+    def _phase_power_w(self, phase: ScenarioPhase) -> float:
         if phase.mode in ("off", "sleep"):
             # S-states: the processor is off; only the hinted platform share
             # attributed to it remains and is identical across configurations.
@@ -123,6 +158,7 @@ class SimulationEngine:
             return base
         processor = self._pcode.processor
         extra = sum(
-            core.leakage.power_w(1.0, 60.0) for core in processor.die.cores[1:]
+            core.leakage.power_w(1.0, NOMINAL_SILICON_TEMPERATURE_C)
+            for core in processor.die.cores[1:]
         )
         return base + extra

@@ -1,17 +1,104 @@
-"""Result types produced by the simulation engine."""
+"""Result types produced by the simulation engine.
+
+Every workload class has its own result dataclass, but all of them derive
+from :class:`RunResult` so that callers of the polymorphic
+:meth:`~repro.sim.engine.SimulationEngine.run` can treat them uniformly:
+each result exposes a ``kind`` tag, a headline ``primary_metric``, and JSON
+round-tripping via :meth:`RunResult.to_dict` / :meth:`RunResult.from_dict`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, ClassVar, Dict, Tuple, Type
 
-from repro.pmu.dvfs import OperatingPoint
+from repro.common.errors import ConfigurationError
+from repro.pmu.dvfs import LimitingFactor, OperatingPoint
 from repro.pmu.pbm import GraphicsOperatingPoint
 
 
+class RunResult:
+    """Base class of every engine result.
+
+    Concrete results are frozen dataclasses; this base adds the polymorphic
+    surface shared by all of them.  ``to_dict`` produces a JSON-safe payload
+    tagged with the result ``kind``; ``from_dict`` reverses it, returning an
+    instance equal to the original.
+    """
+
+    #: Workload-class tag ("cpu", "graphics", "energy").
+    kind: ClassVar[str] = ""
+
+    @property
+    def primary_metric(self) -> float:
+        """The headline number the paper reports for this workload class."""
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload describing this result."""
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a concrete result from a :meth:`to_dict` payload."""
+        kind = data.get("kind")
+        try:
+            result_type = _RESULT_TYPES[kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown run-result kind {kind!r}; "
+                f"expected one of {sorted(_RESULT_TYPES)}"
+            ) from None
+        return result_type._from_payload(data)
+
+
+def _operating_point_to_dict(point: OperatingPoint) -> Dict[str, Any]:
+    return {
+        "frequency_hz": point.frequency_hz,
+        "voltage_v": point.voltage_v,
+        "package_power_w": point.package_power_w,
+        "cores_power_w": point.cores_power_w,
+        "idle_cores_power_w": point.idle_cores_power_w,
+        "uncore_power_w": point.uncore_power_w,
+        "limiting_factor": point.limiting_factor.value,
+        "junction_temperature_c": point.junction_temperature_c,
+    }
+
+
+def _operating_point_from_dict(data: Dict[str, Any]) -> OperatingPoint:
+    return OperatingPoint(
+        frequency_hz=data["frequency_hz"],
+        voltage_v=data["voltage_v"],
+        package_power_w=data["package_power_w"],
+        cores_power_w=data["cores_power_w"],
+        idle_cores_power_w=data["idle_cores_power_w"],
+        uncore_power_w=data["uncore_power_w"],
+        limiting_factor=LimitingFactor(data["limiting_factor"]),
+        junction_temperature_c=data["junction_temperature_c"],
+    )
+
+
+def _graphics_point_to_dict(point: GraphicsOperatingPoint) -> Dict[str, Any]:
+    return {
+        "graphics_frequency_hz": point.graphics_frequency_hz,
+        "graphics_power_w": point.graphics_power_w,
+        "graphics_budget_w": point.graphics_budget_w,
+        "cpu_power_w": point.cpu_power_w,
+        "idle_cores_power_w": point.idle_cores_power_w,
+        "uncore_power_w": point.uncore_power_w,
+        "package_power_w": point.package_power_w,
+    }
+
+
+def _graphics_point_from_dict(data: Dict[str, Any]) -> GraphicsOperatingPoint:
+    return GraphicsOperatingPoint(**data)
+
+
 @dataclass(frozen=True)
-class CpuRunResult:
+class CpuRunResult(RunResult):
     """Outcome of running one CPU workload on one system configuration."""
+
+    kind: ClassVar[str] = "cpu"
 
     workload_name: str
     operating_point: OperatingPoint
@@ -27,14 +114,37 @@ class CpuRunResult:
         """Sustained package power during the run."""
         return self.operating_point.package_power_w
 
+    @property
+    def primary_metric(self) -> float:
+        """Relative SPEC-style performance."""
+        return self.relative_performance
+
     def improvement_over(self, baseline: "CpuRunResult") -> float:
         """Fractional performance improvement over a baseline run."""
         return self.relative_performance / baseline.relative_performance - 1.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "workload_name": self.workload_name,
+            "operating_point": _operating_point_to_dict(self.operating_point),
+            "relative_performance": self.relative_performance,
+        }
+
+    @classmethod
+    def _from_payload(cls, data: Dict[str, Any]) -> "CpuRunResult":
+        return cls(
+            workload_name=data["workload_name"],
+            operating_point=_operating_point_from_dict(data["operating_point"]),
+            relative_performance=data["relative_performance"],
+        )
+
 
 @dataclass(frozen=True)
-class GraphicsRunResult:
+class GraphicsRunResult(RunResult):
     """Outcome of running one graphics workload on one system configuration."""
+
+    kind: ClassVar[str] = "graphics"
 
     workload_name: str
     operating_point: GraphicsOperatingPoint
@@ -45,9 +155,30 @@ class GraphicsRunResult:
         """Resolved graphics frequency."""
         return self.operating_point.graphics_frequency_hz
 
+    @property
+    def primary_metric(self) -> float:
+        """Relative frames-per-second."""
+        return self.relative_fps
+
     def degradation_from(self, baseline: "GraphicsRunResult") -> float:
         """Fractional FPS degradation relative to a baseline run (>= 0)."""
         return max(0.0, 1.0 - self.relative_fps / baseline.relative_fps)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "workload_name": self.workload_name,
+            "operating_point": _graphics_point_to_dict(self.operating_point),
+            "relative_fps": self.relative_fps,
+        }
+
+    @classmethod
+    def _from_payload(cls, data: Dict[str, Any]) -> "GraphicsRunResult":
+        return cls(
+            workload_name=data["workload_name"],
+            operating_point=_graphics_point_from_dict(data["operating_point"]),
+            relative_fps=data["relative_fps"],
+        )
 
 
 @dataclass(frozen=True)
@@ -65,17 +196,29 @@ class PhaseEnergy:
 
 
 @dataclass(frozen=True)
-class EnergyRunResult:
+class EnergyRunResult(RunResult):
     """Outcome of running one energy scenario on one system configuration."""
+
+    kind: ClassVar[str] = "energy"
 
     scenario_name: str
     phases: Tuple[PhaseEnergy, ...]
     average_power_limit_w: float
 
     @property
+    def workload_name(self) -> str:
+        """Scenario name under the common result interface."""
+        return self.scenario_name
+
+    @property
     def average_power_w(self) -> float:
         """Residency-weighted average processor power."""
         return sum(phase.contribution_w for phase in self.phases)
+
+    @property
+    def primary_metric(self) -> float:
+        """Average processor power in watts."""
+        return self.average_power_w
 
     @property
     def meets_limit(self) -> bool:
@@ -87,3 +230,33 @@ class EnergyRunResult:
         if reference.average_power_w <= 0:
             return 0.0
         return 1.0 - self.average_power_w / reference.average_power_w
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "scenario_name": self.scenario_name,
+            "phases": [
+                {
+                    "phase_name": phase.phase_name,
+                    "fraction": phase.fraction,
+                    "power_w": phase.power_w,
+                }
+                for phase in self.phases
+            ],
+            "average_power_limit_w": self.average_power_limit_w,
+        }
+
+    @classmethod
+    def _from_payload(cls, data: Dict[str, Any]) -> "EnergyRunResult":
+        return cls(
+            scenario_name=data["scenario_name"],
+            phases=tuple(PhaseEnergy(**phase) for phase in data["phases"]),
+            average_power_limit_w=data["average_power_limit_w"],
+        )
+
+
+_RESULT_TYPES: Dict[str, Type[RunResult]] = {
+    CpuRunResult.kind: CpuRunResult,
+    GraphicsRunResult.kind: GraphicsRunResult,
+    EnergyRunResult.kind: EnergyRunResult,
+}

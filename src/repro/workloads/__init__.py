@@ -2,9 +2,13 @@
 
 The paper evaluates three classes of workloads on real hardware; this
 package provides descriptor-based models of each class that exercise the
-same decision paths in the firmware/simulation stack:
+same decision paths in the firmware/simulation stack.  All descriptors
+satisfy the :class:`Workload` protocol (a ``name`` plus a ``kind`` tag), so
+any of them can be handed to the engine's polymorphic ``run()`` or swept
+through :class:`repro.analysis.study.Study`:
 
-* :mod:`repro.workloads.descriptors` — the descriptor dataclasses.
+* :mod:`repro.workloads.descriptors` — the descriptor dataclasses and the
+  :class:`Workload` protocol.
 * :mod:`repro.workloads.spec` — SPEC CPU2006 base (single-core) and rate
   (all-core) workloads with per-benchmark frequency scalability and
   activity, the knobs Section 7.1 says drive the gains.
@@ -22,6 +26,8 @@ from repro.workloads.descriptors import (
     EnergyScenario,
     GraphicsWorkload,
     ResidencyPhase,
+    ScenarioPhase,
+    Workload,
 )
 from repro.workloads.energy import energy_star_scenario, rmt_scenario
 from repro.workloads.graphics import three_dmark_suite
@@ -33,10 +39,12 @@ from repro.workloads.spec import (
 )
 
 __all__ = [
+    "Workload",
     "CpuWorkload",
     "EnergyScenario",
     "GraphicsWorkload",
     "ResidencyPhase",
+    "ScenarioPhase",
     "energy_star_scenario",
     "rmt_scenario",
     "three_dmark_suite",

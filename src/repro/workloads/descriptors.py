@@ -14,10 +14,23 @@ paper's mechanisms act on them:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import ClassVar, List, Protocol, Tuple, runtime_checkable
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_in_range, ensure_positive
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything the simulation engine can run polymorphically.
+
+    A workload carries a ``name`` (used to key results) and a ``kind`` tag
+    (``"cpu"``, ``"graphics"``, or ``"energy"``) that
+    :meth:`repro.sim.engine.SimulationEngine.run` dispatches on.
+    """
+
+    name: str
+    kind: ClassVar[str]
 
 
 @dataclass(frozen=True)
@@ -43,6 +56,8 @@ class CpuWorkload:
     category:
         "int" or "fp", used for Fig. 3-style per-category averages.
     """
+
+    kind: ClassVar[str] = "cpu"
 
     name: str
     active_cores: int
@@ -102,6 +117,8 @@ class CpuWorkload:
 class GraphicsWorkload:
     """A graphics (3DMark-style) workload."""
 
+    kind: ClassVar[str] = "graphics"
+
     name: str
     graphics_activity: float = 0.9
     graphics_scalability: float = 0.85
@@ -153,6 +170,10 @@ class ResidencyPhase:
             )
 
 
+#: Canonical name for a phase of an energy scenario as seen by the engine.
+ScenarioPhase = ResidencyPhase
+
+
 @dataclass(frozen=True)
 class EnergyScenario:
     """An energy-efficiency scenario: a weighted mix of residency phases.
@@ -167,6 +188,8 @@ class EnergyScenario:
         The pass/fail limit the scenario's benchmark imposes on average
         processor power (the horizontal limit lines of Fig. 10).
     """
+
+    kind: ClassVar[str] = "energy"
 
     name: str
     phases: Tuple[ResidencyPhase, ...]

@@ -9,7 +9,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.darkgates import SystemComparison, baseline_system, darkgates_system
+from repro.core.darkgates import SystemComparison
+from repro.core.spec import get_spec
 from repro.pdn.ladder import PdnConfiguration
 
 
@@ -40,10 +41,10 @@ def comparison_35w() -> SystemComparison:
 @pytest.fixture(scope="session")
 def darkgates_91w():
     """The DarkGates firmware configuration at 91 W."""
-    return darkgates_system(91.0)
+    return get_spec("darkgates", tdp_w=91.0).build()
 
 
 @pytest.fixture(scope="session")
 def baseline_91w():
     """The baseline firmware configuration at 91 W."""
-    return baseline_system(91.0)
+    return get_spec("baseline", tdp_w=91.0).build()

@@ -1,0 +1,226 @@
+"""Tests for the Study sweep runner: grids, executors, caching, and
+StudyResult serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.study import (
+    CallableTask,
+    ProcessExecutor,
+    SerialExecutor,
+    Study,
+    StudyResult,
+    resolve_executor,
+)
+from repro.common.errors import ConfigurationError
+from repro.core.darkgates import SystemComparison
+from repro.core.spec import get_spec
+from repro.sim.metrics import CpuRunResult, EnergyRunResult
+from repro.workloads.energy import energy_star_scenario, rmt_scenario
+from repro.workloads.spec import spec_benchmark
+
+
+def _small_suite():
+    return [spec_benchmark(name) for name in ("416.gamess", "410.bwaves", "470.lbm")]
+
+
+# -- grid construction ---------------------------------------------------------------------------
+
+
+def test_grid_size_specs_times_workloads():
+    study = Study(("darkgates", "baseline"), _small_suite())
+    assert len(study) == 6
+    assert [spec.name for spec in study.specs] == ["darkgates", "baseline"]
+
+
+def test_over_tdp_levels_expands_variants():
+    study = Study.over_tdp_levels(
+        ("darkgates", "baseline"), (35.0, 91.0), _small_suite()
+    )
+    assert len(study.specs) == 4
+    assert sorted({spec.tdp_w for spec in study.specs}) == [35.0, 91.0]
+
+
+def test_suite_mapping_keys_cells():
+    suites = {
+        "base": _small_suite(),
+        "rate": [w.with_active_cores(4) for w in _small_suite()],
+    }
+    study = Study(("darkgates",), suites)
+    assert len(study) == 6
+    result = study.run()
+    base = result.get("darkgates", "416.gamess", suite="base")
+    rate = result.get("darkgates", "416.gamess", suite="rate")
+    assert base != rate  # 1-core and 4-core runs differ
+
+
+def test_duplicate_workload_names_rejected():
+    workload = spec_benchmark("416.gamess")
+    with pytest.raises(ConfigurationError):
+        Study(("darkgates",), [workload, workload])
+
+
+def test_reserved_suite_name_rejected():
+    with pytest.raises(ConfigurationError):
+        Study(("darkgates",), {"tasks": _small_suite()})
+
+
+# -- execution and parity ------------------------------------------------------------------------
+
+
+def test_study_matches_system_comparison(comparison_91w):
+    suite = _small_suite()
+    result = Study(("darkgates", "baseline"), suite).run()
+    for workload in suite:
+        expected = comparison_91w.compare_cpu(workload)
+        after = result.get("darkgates", workload)
+        before = result.get("baseline", workload)
+        assert after.improvement_over(before) == pytest.approx(
+            expected.performance_improvement
+        )
+
+
+def test_study_runs_energy_scenarios():
+    result = Study(("darkgates",), [energy_star_scenario(), rmt_scenario()]).run()
+    run = result.get("darkgates", "RMT")
+    assert isinstance(run, EnergyRunResult)
+    assert run.average_power_w > 0.0
+
+
+def test_missing_cell_raises():
+    result = Study(("darkgates",), _small_suite()).run()
+    with pytest.raises(ConfigurationError):
+        result.get("baseline", "416.gamess")
+    with pytest.raises(ConfigurationError):
+        result.task("no-such-task")
+
+
+# -- caching -------------------------------------------------------------------------------------
+
+
+def test_repeat_run_executes_nothing():
+    study = Study(("darkgates",), _small_suite())
+    first = study.run()
+    executed = study.tasks_executed
+    assert executed == 3
+    second = study.run()
+    assert study.tasks_executed == executed
+    assert first == second
+
+
+def test_shared_cache_across_studies():
+    cache = {}
+    Study(("darkgates",), _small_suite(), cache=cache).run()
+    overlapping = Study(("darkgates", "baseline"), _small_suite(), cache=cache)
+    overlapping.run()
+    # Only the baseline cells were new.
+    assert overlapping.tasks_executed == 3
+
+
+def test_same_workload_in_two_suites_runs_once():
+    suite = _small_suite()
+    study = Study(("darkgates",), {"a": suite, "b": suite})
+    study.run()
+    assert study.tasks_executed == 3  # not 6: identical (spec, workload) pairs
+
+
+# -- executors -----------------------------------------------------------------------------------
+
+
+def test_resolve_executor():
+    assert isinstance(resolve_executor("serial"), SerialExecutor)
+    assert isinstance(resolve_executor("process"), ProcessExecutor)
+    executor = SerialExecutor()
+    assert resolve_executor(executor) is executor
+    with pytest.raises(ConfigurationError):
+        resolve_executor("threads")
+    with pytest.raises(ConfigurationError):
+        resolve_executor(object())
+    with pytest.raises(ConfigurationError):
+        ProcessExecutor(max_workers=0)
+
+
+def test_process_pool_four_tdp_sweep_with_caching():
+    """Acceptance: a 4-TDP SPEC sweep through the process pool, cached."""
+    suite = _small_suite()
+    study = Study.over_tdp_levels(
+        ("darkgates", "baseline"),
+        (35.0, 45.0, 65.0, 91.0),
+        suite,
+        executor="process",
+        max_workers=2,
+    )
+    result = study.run()
+    assert study.tasks_executed == 8 * len(suite)
+    # Repeat invocation does zero engine re-runs.
+    again = study.run()
+    assert study.tasks_executed == 8 * len(suite)
+    assert again == result
+    # Parity with the serial executor.
+    serial = Study.over_tdp_levels(
+        ("darkgates", "baseline"), (35.0, 45.0, 65.0, 91.0), suite
+    ).run()
+    assert serial == result
+    # Every cell is a fully-typed result.
+    for tdp in (35.0, 45.0, 65.0, 91.0):
+        after = result.get(get_spec("darkgates", tdp_w=tdp), suite[0])
+        before = result.get(get_spec("baseline", tdp_w=tdp), suite[0])
+        assert isinstance(after, CpuRunResult)
+        assert after.improvement_over(before) > 0.0
+
+
+# -- callable tasks ------------------------------------------------------------------------------
+
+
+def test_callable_tasks_run_alongside_grid():
+    study = Study(
+        ("darkgates",),
+        _small_suite()[:1],
+        tasks=(CallableTask(key="constant", fn=int, args=("42",)),),
+    )
+    result = study.run()
+    assert result.task("constant") == 42
+    assert len(result.cells) == 2
+
+
+def test_non_callable_task_rejected():
+    with pytest.raises(ConfigurationError):
+        Study(tasks=("not-a-task",))
+
+
+# -- StudyResult reporting and serialisation -----------------------------------------------------
+
+
+def test_as_table_lists_every_cell():
+    result = Study(("darkgates",), _small_suite(), name="smoke").run()
+    table = result.as_table()
+    assert "smoke" in table
+    for workload in _small_suite():
+        assert workload.name in table
+    assert "darkgates@91W" in table
+
+
+def test_study_result_json_round_trip():
+    study = Study(
+        ("darkgates", "baseline"),
+        [spec_benchmark("416.gamess"), energy_star_scenario()],
+        tasks=(CallableTask(key="meta", fn=str, args=(7,)),),
+        name="roundtrip",
+    )
+    result = study.run()
+    restored = StudyResult.from_json(result.to_json(indent=2))
+    assert restored == result
+    assert restored.get("darkgates", "416.gamess") == result.get(
+        "darkgates", "416.gamess"
+    )
+    assert restored.task("meta") == "7"
+
+
+def test_study_result_json_is_valid_json():
+    result = Study(("darkgates",), _small_suite()[:1]).run()
+    payload = json.loads(result.to_json())
+    assert payload["cells"][0]["spec"]["name"] == "darkgates"
+    assert payload["cells"][0]["value_kind"] == "run_result"
