@@ -14,6 +14,12 @@ Migration note (1.0 -> 1.1):
 * ``engine.run_cpu_workload(w)`` (and friends)  ->  ``engine.run(w)``
 * hand-rolled sweep loops    ->  ``Study(specs, workloads).run()``
 
+New in 1.2: transient droop scenarios are a first-class workload class —
+``engine.run(TransientScenario.from_trace(core_wake_trace()))`` simulates a
+di/dt event on the system's PDN with the vectorized droop solver, and
+``Study.over_transients(specs, traces)`` sweeps PDN configuration x trace x
+time step (see ``examples/transient_droop_study.py``).
+
 Run with::
 
     python examples/quickstart.py

@@ -74,6 +74,12 @@ from repro.core.spec import (
     register_spec,
     spec_names,
 )
+from repro.pdn.transients import (
+    LoadTrace,
+    TraceBuilder,
+    TransientScenario,
+    paper_transient_scenarios,
+)
 from repro.pmu.pcode import Pcode
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import (
@@ -81,6 +87,7 @@ from repro.sim.metrics import (
     EnergyRunResult,
     GraphicsRunResult,
     RunResult,
+    TransientRunResult,
 )
 from repro.workloads.descriptors import Workload
 from repro.workloads.energy import energy_star_scenario, rmt_scenario
@@ -116,6 +123,11 @@ __all__ = [
     "CpuRunResult",
     "GraphicsRunResult",
     "EnergyRunResult",
+    "TransientRunResult",
+    "LoadTrace",
+    "TraceBuilder",
+    "TransientScenario",
+    "paper_transient_scenarios",
     "energy_star_scenario",
     "rmt_scenario",
     "three_dmark_suite",

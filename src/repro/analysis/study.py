@@ -495,3 +495,30 @@ class Study:
             spec.variant(tdp_w=tdp) for tdp in tdp_levels_w for spec in resolved
         ]
         return cls(expanded, workloads, **kwargs)
+
+    @classmethod
+    def over_transients(
+        cls,
+        specs: Sequence[Union[SystemSpec, str]],
+        traces: Sequence["LoadTrace"],
+        time_steps_s: Iterable[float] = (0.5e-9,),
+        suite: str = "transients",
+        **kwargs: Any,
+    ) -> "Study":
+        """A transient-droop sweep: PDN configuration x trace x time step.
+
+        Each spec contributes its package's PDN (so a gated spec and a
+        bypassed spec side by side reproduce the paper's Fig. 6
+        comparison); each (trace, time step) pair becomes one
+        :class:`~repro.pdn.transients.TransientScenario` cell.  Scenarios
+        carry the trace's name (suffixed with the step when non-default),
+        so results read back with ``result.get(spec, trace.name, suite)``.
+        """
+        from repro.pdn.transients import TransientScenario
+
+        scenarios = [
+            TransientScenario.from_trace(trace, time_step_s=time_step)
+            for time_step in time_steps_s
+            for trace in traces
+        ]
+        return cls(specs, {suite: scenarios}, **kwargs)

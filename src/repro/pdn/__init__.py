@@ -16,7 +16,9 @@ guardband the firmware must carry.  This package models that network:
 * :mod:`repro.pdn.vr` — motherboard voltage-regulator model.
 * :mod:`repro.pdn.loadline` — the load-line / adaptive-voltage-positioning
   model of Fig. 2, with multi-level power-virus guardbands.
-* :mod:`repro.pdn.droop` — time-domain di/dt droop simulation.
+* :mod:`repro.pdn.droop` — vectorized time-domain di/dt droop simulation.
+* :mod:`repro.pdn.transients` — declarative load traces and transient
+  scenarios (core wake, AVX burst, staggered wake) for the droop simulator.
 * :mod:`repro.pdn.guardband` — translation of impedance and droop into the
   voltage guardband the PMU applies.
 """
@@ -30,6 +32,17 @@ from repro.pdn.loadline import LoadLine, PowerVirusLevel, VirusLevelTable
 from repro.pdn.netlist import Netlist
 from repro.pdn.powergate import PowerGate
 from repro.pdn.droop import DroopSimulator, DroopResult
+from repro.pdn.transients import (
+    LoadTrace,
+    TraceBuilder,
+    TransientScenario,
+    avx_burst_trace,
+    core_wake_trace,
+    multi_event_trace,
+    paper_transient_scenarios,
+    staggered_wake_trace,
+    step_trace,
+)
 from repro.pdn.vr import VoltageRegulator
 
 __all__ = [
@@ -52,5 +65,14 @@ __all__ = [
     "PowerGate",
     "DroopSimulator",
     "DroopResult",
+    "LoadTrace",
+    "TraceBuilder",
+    "TransientScenario",
+    "avx_burst_trace",
+    "core_wake_trace",
+    "multi_event_trace",
+    "paper_transient_scenarios",
+    "staggered_wake_trace",
+    "step_trace",
     "VoltageRegulator",
 ]

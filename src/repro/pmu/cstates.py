@@ -55,11 +55,15 @@ class PackageCState(Enum):
 
     @classmethod
     def from_name(cls, name: str) -> "PackageCState":
-        """Parse a state from a string such as ``"C8"``."""
+        """Parse a state from a string such as ``"C8"`` (case-insensitive)."""
         try:
-            return cls[name.upper()]
-        except KeyError as exc:
-            raise ConfigurationError(f"unknown package C-state {name!r}") from exc
+            return cls[name.strip().upper()]
+        except (KeyError, AttributeError):
+            valid = ", ".join(state.value for state in cls)
+            raise ConfigurationError(
+                f"unknown package C-state {name!r}; valid names "
+                f"(case-insensitive): {valid}"
+            ) from None
 
 
 #: Entry conditions of each package C-state, condensed from the paper's Table 1.

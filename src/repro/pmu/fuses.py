@@ -54,10 +54,16 @@ class FuseSet:
     _VALID_DEEPEST = ("C2", "C3", "C6", "C7", "C8", "C9", "C10")
 
     def __post_init__(self) -> None:
-        if self.deepest_package_cstate.upper() not in self._VALID_DEEPEST:
+        # Normalize the stored name so fuse sets (and the specs built from
+        # them) differing only in case compare, hash, and print identically.
+        normalized = self.deepest_package_cstate.strip().upper()
+        if normalized not in self._VALID_DEEPEST:
             raise ConfigurationError(
-                f"unsupported deepest package C-state {self.deepest_package_cstate!r}"
+                f"unsupported deepest package C-state "
+                f"{self.deepest_package_cstate!r}; valid names "
+                f"(case-insensitive): {', '.join(self._VALID_DEEPEST)}"
             )
+        object.__setattr__(self, "deepest_package_cstate", normalized)
 
     @property
     def bypass_enabled(self) -> bool:

@@ -155,6 +155,19 @@ class Pcode:
         """Deepest package C-state this platform may enter."""
         return PackageCState.from_name(self._fuses.deepest_package_cstate)
 
+    def wake_rail_voltage_v(self, active_cores: int = 1) -> float:
+        """Rail voltage during the low-frequency active bursts of idle scenarios.
+
+        Idle-platform wakes run at the bottom of the frequency grid; the
+        firmware programs the guardbanded voltage for that bin, and on a
+        bypassed part this is the rail at which the dark cores leak while
+        the woken cores service the burst.
+        """
+        if active_cores < 1:
+            raise ConfigurationError("active_cores must be >= 1")
+        grid = self._processor.die.core_frequency_grid
+        return self._vf_curve.required_voltage_v(grid.min_hz, active_cores)
+
     def package_idle_power_w(self, state: Optional[PackageCState] = None) -> float:
         """Package power at an idle state (deepest supported by default)."""
         target = state or self.deepest_package_cstate()

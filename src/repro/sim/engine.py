@@ -4,14 +4,18 @@ The engine is intentionally thin: all the physics lives in the PDN, power,
 and firmware models.  What the engine adds is the translation between a
 workload descriptor and the firmware's decision inputs, and the conversion
 of the resolved operating point into the metric the paper reports for that
-workload class (relative SPEC score, relative FPS, average power).
+workload class (relative SPEC score, relative FPS, average power, worst
+transient droop).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.common.errors import ConfigurationError
+from repro.pdn.droop import DroopSimulator
+from repro.pdn.ladder import SkylakePdnBuilder
+from repro.pdn.transients import TransientScenario
 from repro.pmu.cstates import PackageCState
 from repro.pmu.dvfs import CpuDemand
 from repro.pmu.pbm import GraphicsDemand
@@ -23,6 +27,7 @@ from repro.sim.metrics import (
     GraphicsRunResult,
     PhaseEnergy,
     RunResult,
+    TransientRunResult,
 )
 from repro.workloads.descriptors import (
     CpuWorkload,
@@ -41,10 +46,12 @@ class SimulationEngine:
         CpuWorkload.kind: "run_cpu_workload",
         GraphicsWorkload.kind: "run_graphics_workload",
         EnergyScenario.kind: "run_energy_scenario",
+        TransientScenario.kind: "run_transient_scenario",
     }
 
     def __init__(self, pcode: Pcode) -> None:
         self._pcode = pcode
+        self._droop_simulators: Dict[float, DroopSimulator] = {}
 
     @property
     def pcode(self) -> Pcode:
@@ -59,7 +66,8 @@ class SimulationEngine:
         The single entry point behind which the per-class methods sit:
         :class:`CpuWorkload` -> :class:`CpuRunResult`,
         :class:`GraphicsWorkload` -> :class:`GraphicsRunResult`,
-        :class:`EnergyScenario` -> :class:`EnergyRunResult`.
+        :class:`EnergyScenario` -> :class:`EnergyRunResult`,
+        :class:`TransientScenario` -> :class:`TransientRunResult`.
         """
         method_name = self._DISPATCH.get(getattr(workload, "kind", None))
         if method_name is None:
@@ -109,6 +117,49 @@ class SimulationEngine:
             relative_fps=fps,
         )
 
+    # -- transient droop scenarios ---------------------------------------------------------
+
+    def run_transient_scenario(self, scenario: TransientScenario) -> TransientRunResult:
+        """Simulate a transient load scenario on this system's PDN.
+
+        The ladder comes from the package's PDN configuration (so gated and
+        bypassed systems naturally see their respective networks); the rail
+        voltage defaults to the firmware's resolved single-core operating
+        voltage unless the scenario pins one.
+        """
+        nominal_v = scenario.nominal_voltage_v
+        if nominal_v is None:
+            point = self._pcode.resolve_cpu_operating_point(CpuDemand(active_cores=1))
+            nominal_v = point.voltage_v
+        simulator = self._droop_simulator(nominal_v)
+        result = simulator.simulate_profile(
+            scenario.trace,
+            duration_s=scenario.resolved_duration_s,
+            time_step_s=scenario.time_step_s,
+            initial_current_a=scenario.trace.initial_current_a,
+            method=scenario.method,
+        )
+        return TransientRunResult(
+            scenario_name=scenario.name,
+            nominal_voltage_v=nominal_v,
+            worst_droop_v=result.worst_droop_v,
+            settled_drop_v=result.settled_drop_v,
+            transient_overshoot_v=result.transient_overshoot_v,
+            minimum_voltage_v=result.minimum_voltage_v(),
+            time_step_s=scenario.time_step_s,
+            duration_s=scenario.resolved_duration_s,
+        )
+
+    def _droop_simulator(self, nominal_voltage_v: float) -> DroopSimulator:
+        simulator = self._droop_simulators.get(nominal_voltage_v)
+        if simulator is None:
+            builder = SkylakePdnBuilder(self._pcode.processor.package.pdn)
+            simulator = DroopSimulator(
+                builder.build_ladder(), nominal_voltage_v=nominal_voltage_v
+            )
+            self._droop_simulators[nominal_voltage_v] = simulator
+        return simulator
+
     # -- energy scenarios ------------------------------------------------------------------
 
     def run_energy_scenario(self, scenario: EnergyScenario) -> EnergyRunResult:
@@ -131,34 +182,40 @@ class SimulationEngine:
             # attributed to it remains and is identical across configurations.
             return phase.active_power_hint_w
         if phase.mode == "active":
-            return self._active_wake_power_w(phase.active_power_hint_w)
+            return self._active_wake_power_w(phase)
         # package_idle
         state = self._resolve_idle_state(phase.package_cstate)
         idle_power = self._pcode.cstate_model.power_w(state)
         return idle_power + phase.active_power_hint_w
 
     def _resolve_idle_state(self, name: str) -> PackageCState:
-        if name.lower() == "deepest":
+        normalized = name.strip()
+        if normalized.lower() == "deepest":
             return self._pcode.deepest_package_cstate()
-        state = PackageCState.from_name(name)
+        state = PackageCState.from_name(normalized)
         deepest = self._pcode.deepest_package_cstate()
         if state.depth > deepest.depth:
             return deepest
         return state
 
-    def _active_wake_power_w(self, hint_w: float) -> float:
+    def _active_wake_power_w(self, phase: ScenarioPhase) -> float:
         """Power during the short active bursts of an idle-platform scenario.
 
-        The hint covers the configuration-independent part (one core plus the
-        woken uncore slice at low frequency); on top of that a bypassed part
-        pays the leakage of the cores that would otherwise be power-gated.
+        The hint covers the configuration-independent part (the woken cores
+        plus the woken uncore slice at low frequency); on top of that a
+        bypassed part pays the leakage of the cores that would otherwise be
+        power-gated.  The dark cores leak at the rail voltage the firmware
+        actually resolves for the low-frequency wake (not a fixed 1.0 V),
+        and only the cores beyond the phase's woken set count.
         """
-        base = hint_w
+        base = phase.active_power_hint_w
         if not self._pcode.bypass_mode:
             return base
         processor = self._pcode.processor
+        woken = min(phase.active_cores, processor.core_count)
+        rail_voltage = self._pcode.wake_rail_voltage_v(active_cores=woken)
         extra = sum(
-            core.leakage.power_w(1.0, NOMINAL_SILICON_TEMPERATURE_C)
-            for core in processor.die.cores[1:]
+            core.leakage.power_w(rail_voltage, NOMINAL_SILICON_TEMPERATURE_C)
+            for core in processor.die.cores[woken:]
         )
         return base + extra

@@ -255,8 +255,71 @@ class EnergyRunResult(RunResult):
         )
 
 
+@dataclass(frozen=True)
+class TransientRunResult(RunResult):
+    """Outcome of running one transient droop scenario on one configuration.
+
+    Carries the summary metrics of the waveform rather than the waveform
+    itself so that study grids stay light and JSON-serialisable; rerun the
+    scenario through :class:`~repro.pdn.droop.DroopSimulator` when the full
+    waveform is needed.
+    """
+
+    kind: ClassVar[str] = "transient"
+
+    scenario_name: str
+    nominal_voltage_v: float
+    worst_droop_v: float
+    settled_drop_v: float
+    transient_overshoot_v: float
+    minimum_voltage_v: float
+    time_step_s: float
+    duration_s: float
+
+    @property
+    def workload_name(self) -> str:
+        """Scenario name under the common result interface."""
+        return self.scenario_name
+
+    @property
+    def primary_metric(self) -> float:
+        """Worst-case droop in volts (the guardband-sizing number)."""
+        return self.worst_droop_v
+
+    @property
+    def droop_fraction(self) -> float:
+        """Worst droop as a fraction of the nominal rail voltage."""
+        return self.worst_droop_v / self.nominal_voltage_v
+
+    def worsening_over(self, baseline: "TransientRunResult") -> float:
+        """Fractional worst-droop increase relative to a baseline run."""
+        if baseline.worst_droop_v <= 0:
+            return 0.0
+        return self.worst_droop_v / baseline.worst_droop_v - 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "scenario_name": self.scenario_name,
+            "nominal_voltage_v": self.nominal_voltage_v,
+            "worst_droop_v": self.worst_droop_v,
+            "settled_drop_v": self.settled_drop_v,
+            "transient_overshoot_v": self.transient_overshoot_v,
+            "minimum_voltage_v": self.minimum_voltage_v,
+            "time_step_s": self.time_step_s,
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def _from_payload(cls, data: Dict[str, Any]) -> "TransientRunResult":
+        payload = dict(data)
+        payload.pop("kind", None)
+        return cls(**payload)
+
+
 _RESULT_TYPES: Dict[str, Type[RunResult]] = {
     CpuRunResult.kind: CpuRunResult,
     GraphicsRunResult.kind: GraphicsRunResult,
     EnergyRunResult.kind: EnergyRunResult,
+    TransientRunResult.kind: TransientRunResult,
 }

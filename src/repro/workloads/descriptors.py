@@ -152,13 +152,29 @@ class GraphicsWorkload:
 
 @dataclass(frozen=True)
 class ResidencyPhase:
-    """One phase of an energy-efficiency scenario."""
+    """One phase of an energy-efficiency scenario.
+
+    Parameters
+    ----------
+    name / fraction / mode:
+        Phase identity, residency fraction, and one of ``"active"``,
+        ``"package_idle"``, ``"sleep"``, ``"off"``.
+    package_cstate:
+        Idle state of ``"package_idle"`` phases; a state name (any case) or
+        ``"deepest"`` for the deepest the platform supports.
+    active_power_hint_w:
+        Configuration-independent power share of the phase.
+    active_cores:
+        Cores awake during an ``"active"`` phase; on a bypassed part the
+        remaining (dark) cores leak at the resolved wake rail voltage.
+    """
 
     name: str
     fraction: float
     mode: str  # "active", "package_idle", "sleep", or "off"
     package_cstate: str = "C7"
     active_power_hint_w: float = 0.0
+    active_cores: int = 1
 
     _VALID_MODES = ("active", "package_idle", "sleep", "off")
 
@@ -168,6 +184,8 @@ class ResidencyPhase:
             raise ConfigurationError(
                 f"mode must be one of {self._VALID_MODES}, got {self.mode!r}"
             )
+        if self.active_cores < 1:
+            raise ConfigurationError("active_cores must be >= 1")
 
 
 #: Canonical name for a phase of an energy scenario as seen by the engine.

@@ -226,3 +226,51 @@ def test_offset_guardband_exposes_inner_properties(gated_pdn):
     assert wrapped.configuration is gated_pdn
     assert wrapped.offset_v == pytest.approx(-0.05)
     assert wrapped.impedance_profile() is inner.impedance_profile()
+
+
+# -- simulated transient-droop derivation --------------------------------------------------------
+
+
+def test_guardband_simulated_droop_model():
+    from repro.pdn.ladder import PdnConfiguration
+
+    level = PowerVirusLevel(name="VL1", max_active_cores=1, virus_current_a=30.0)
+    impedance = GuardbandModel(PdnConfiguration())
+    simulated = GuardbandModel(PdnConfiguration(), droop_model="simulated")
+    assert impedance.droop_model == "impedance"
+    assert simulated.droop_model == "simulated"
+    droop = simulated.transient_droop_v(level)
+    assert droop > 0.0
+    # The simulated overshoot excludes the DC part the IR term already
+    # covers, so it sits below the conservative target-impedance bound.
+    assert droop < impedance.transient_droop_v(level)
+    # The underlying waveform is exposed for inspection.
+    waveform = simulated.simulated_droop_result(level)
+    assert waveform.transient_overshoot_v == pytest.approx(droop)
+
+
+def test_guardband_simulated_droop_ordering_matches_fig6():
+    from repro.pdn.ladder import PdnConfiguration
+
+    level = PowerVirusLevel(name="VL4", max_active_cores=4, virus_current_a=100.0)
+    gated = GuardbandModel(PdnConfiguration(), droop_model="simulated")
+    bypassed = GuardbandModel(
+        PdnConfiguration().with_bypass(), droop_model="simulated"
+    )
+    assert gated.transient_droop_v(level) > bypassed.transient_droop_v(level)
+
+
+def test_guardband_rejects_unknown_droop_model():
+    from repro.pdn.ladder import PdnConfiguration
+
+    with pytest.raises(ConfigurationError):
+        GuardbandModel(PdnConfiguration(), droop_model="spice")
+
+
+def test_with_reliability_margin_preserves_droop_model():
+    from repro.pdn.ladder import PdnConfiguration
+
+    model = GuardbandModel(PdnConfiguration(), droop_model="simulated")
+    derived = model.with_reliability_margin(0.005)
+    assert derived.droop_model == "simulated"
+    assert derived.reliability_margin_v == pytest.approx(0.005)

@@ -232,3 +232,55 @@ def test_pcode_reliability_margin_raises_guardband():
     assert margined.vf_curve.guardband_v(1) == pytest.approx(
         plain.vf_curve.guardband_v(1) + 0.02
     )
+
+
+# -- C-state name resolution (case-insensitivity bugfix) ----------------------------------------
+
+
+def test_cstate_from_name_is_case_insensitive():
+    assert PackageCState.from_name("c8") is PackageCState.C8
+    assert PackageCState.from_name("C8") is PackageCState.C8
+    assert PackageCState.from_name(" c10 ") is PackageCState.C10
+
+
+def test_cstate_from_name_error_lists_valid_names():
+    with pytest.raises(ConfigurationError) as excinfo:
+        PackageCState.from_name("C42")
+    message = str(excinfo.value)
+    assert "C42" in message
+    for name in ("C0", "C2", "C7", "C10"):
+        assert name in message
+
+
+def test_fuse_set_normalizes_cstate_case():
+    lower = FuseSet.darkgates_desktop()
+    mixed = FuseSet(
+        power_delivery_mode=lower.power_delivery_mode,
+        deepest_package_cstate="c8",
+        segment="desktop",
+    )
+    assert mixed.deepest_package_cstate == "C8"
+    assert mixed == lower
+
+
+def test_fuse_set_rejects_bad_cstate_with_valid_names():
+    with pytest.raises(ConfigurationError) as excinfo:
+        FuseSet.darkgates_desktop().__class__(
+            power_delivery_mode=FuseSet.darkgates_desktop().power_delivery_mode,
+            deepest_package_cstate="C1",
+        )
+    assert "C7" in str(excinfo.value)
+
+
+# -- wake rail voltage --------------------------------------------------------------------------
+
+
+def test_wake_rail_voltage_is_the_min_frequency_voltage():
+    pcode = Pcode(skylake_s_desktop(91.0), FuseSet.darkgates_desktop())
+    grid = pcode.processor.die.core_frequency_grid
+    expected = pcode.vf_curve.required_voltage_v(grid.min_hz, 1)
+    assert pcode.wake_rail_voltage_v() == pytest.approx(expected)
+    # More woken cores never lower the guardbanded rail requirement.
+    assert pcode.wake_rail_voltage_v(active_cores=4) >= pcode.wake_rail_voltage_v()
+    with pytest.raises(ConfigurationError):
+        pcode.wake_rail_voltage_v(active_cores=0)

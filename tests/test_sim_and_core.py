@@ -208,3 +208,122 @@ def test_overheads_match_section5_claims():
     # The power-gates the baseline carries cost a few percent of core area.
     assert 0.01 <= overheads.power_gate_core_area_fraction <= 0.10
     assert overheads.power_gate_die_area_fraction < 0.05
+
+
+# -- simulation engine: transient droop scenarios -----------------------------------------------
+
+
+def test_engine_runs_transient_scenario(darkgates_91w):
+    from repro.pdn.transients import TransientScenario, core_wake_trace
+    from repro.sim.metrics import TransientRunResult
+
+    scenario = TransientScenario.from_trace(core_wake_trace(duration_s=1e-6))
+    result = SimulationEngine(darkgates_91w).run(scenario)
+    assert isinstance(result, TransientRunResult)
+    assert result.scenario_name == "core_wake"
+    assert result.worst_droop_v > 0.0
+    assert result.transient_overshoot_v >= 0.0
+    assert result.minimum_voltage_v < result.nominal_voltage_v
+    # The rail defaults to the firmware's resolved single-core voltage.
+    assert 0.5 < result.nominal_voltage_v < 1.5
+    assert result.primary_metric == result.worst_droop_v
+
+
+def test_engine_transient_fig6_ordering(darkgates_91w, baseline_91w):
+    # The bypassed (DarkGates) network must droop less than the gated one
+    # for the same event at the same rail (Fig. 6).
+    from repro.pdn.transients import TransientScenario, core_wake_trace
+
+    scenario = TransientScenario.from_trace(
+        core_wake_trace(duration_s=1e-6), nominal_voltage_v=1.0
+    )
+    gated = SimulationEngine(baseline_91w).run(scenario)
+    bypassed = SimulationEngine(darkgates_91w).run(scenario)
+    assert gated.worst_droop_v > bypassed.worst_droop_v
+    assert bypassed.worsening_over(gated) < 0.0
+
+
+def test_engine_transient_result_round_trips(darkgates_91w):
+    from repro.pdn.transients import TransientScenario, avx_burst_trace
+    from repro.sim.metrics import RunResult
+
+    scenario = TransientScenario.from_trace(avx_burst_trace())
+    result = SimulationEngine(darkgates_91w).run(scenario)
+    assert RunResult.from_dict(result.to_dict()) == result
+
+
+# -- simulation engine: idle-wake power bugfix --------------------------------------------------
+
+
+def test_active_wake_power_uses_resolved_rail_not_1v(darkgates_91w):
+    from repro.power.leakage import NOMINAL_SILICON_TEMPERATURE_C
+    from repro.workloads.descriptors import ResidencyPhase
+
+    engine = SimulationEngine(darkgates_91w)
+    phase = ResidencyPhase(
+        name="wake", fraction=1.0, mode="active", active_power_hint_w=5.0
+    )
+    power = engine._phase_power_w(phase)
+    rail = darkgates_91w.wake_rail_voltage_v(active_cores=1)
+    assert rail < 1.0  # the low-frequency wake rail sits below 1 V
+    # The old implementation charged the dark cores at a hardcoded 1.0 V.
+    old_extra = sum(
+        core.leakage.power_w(1.0, NOMINAL_SILICON_TEMPERATURE_C)
+        for core in darkgates_91w.processor.die.cores[1:]
+    )
+    expected_extra = sum(
+        core.leakage.power_w(rail, NOMINAL_SILICON_TEMPERATURE_C)
+        for core in darkgates_91w.processor.die.cores[1:]
+    )
+    assert power == pytest.approx(5.0 + expected_extra)
+    assert power < 5.0 + old_extra
+
+
+def test_active_wake_power_scales_with_woken_cores(darkgates_91w):
+    from repro.workloads.descriptors import ResidencyPhase
+
+    engine = SimulationEngine(darkgates_91w)
+    core_count = darkgates_91w.processor.core_count
+    powers = [
+        engine._phase_power_w(
+            ResidencyPhase(
+                name="wake",
+                fraction=1.0,
+                mode="active",
+                active_power_hint_w=5.0,
+                active_cores=woken,
+            )
+        )
+        for woken in range(1, core_count + 1)
+    ]
+    # More woken cores leave fewer dark cores leaking on top of the hint.
+    assert all(a > b for a, b in zip(powers, powers[1:]))
+    # All cores woken: nothing leaks beyond the hint.
+    assert powers[-1] == pytest.approx(5.0)
+
+
+def test_active_wake_power_gated_part_pays_only_the_hint(baseline_91w):
+    from repro.workloads.descriptors import ResidencyPhase
+
+    engine = SimulationEngine(baseline_91w)
+    phase = ResidencyPhase(
+        name="wake", fraction=1.0, mode="active", active_power_hint_w=5.0
+    )
+    assert engine._phase_power_w(phase) == pytest.approx(5.0)
+
+
+def test_scenario_phase_cstate_names_are_case_insensitive(darkgates_91w):
+    from repro.workloads.descriptors import ResidencyPhase
+
+    engine = SimulationEngine(darkgates_91w)
+    lower = ResidencyPhase(
+        name="idle", fraction=1.0, mode="package_idle", package_cstate="c8"
+    )
+    upper = ResidencyPhase(
+        name="idle", fraction=1.0, mode="package_idle", package_cstate="C8"
+    )
+    deepest = ResidencyPhase(
+        name="idle", fraction=1.0, mode="package_idle", package_cstate="Deepest"
+    )
+    assert engine._phase_power_w(lower) == engine._phase_power_w(upper)
+    assert engine._phase_power_w(deepest) == engine._phase_power_w(upper)

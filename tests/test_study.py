@@ -224,3 +224,61 @@ def test_study_result_json_is_valid_json():
     payload = json.loads(result.to_json())
     assert payload["cells"][0]["spec"]["name"] == "darkgates"
     assert payload["cells"][0]["value_kind"] == "run_result"
+
+
+# -- transient sweeps ----------------------------------------------------------------------------
+
+
+def test_over_transients_builds_the_grid():
+    from repro.pdn.transients import core_wake_trace, step_trace
+
+    traces = [core_wake_trace(duration_s=1e-6), step_trace("step25", 25.0, duration_s=1e-6)]
+    study = Study.over_transients(
+        ("darkgates", "baseline"), traces, time_steps_s=(0.5e-9, 1e-9)
+    )
+    # 2 specs x 2 traces x 2 time steps.
+    assert len(study) == 8
+    assert set(study.suites) == {"transients"}
+
+
+def test_over_transients_runs_and_reads_back():
+    from repro.pdn.transients import core_wake_trace
+    from repro.sim.metrics import TransientRunResult
+
+    trace = core_wake_trace(duration_s=1e-6)
+    study = Study.over_transients(
+        ("darkgates", "baseline"), [trace], name="fig6"
+    )
+    result = study.run()
+    gated = result.get("baseline", "core_wake", suite="transients")
+    bypassed = result.get("darkgates", "core_wake", suite="transients")
+    assert isinstance(gated, TransientRunResult)
+    assert gated.worst_droop_v > bypassed.worst_droop_v
+    # Cached: a re-run executes nothing new.
+    executed = study.tasks_executed
+    study.run()
+    assert study.tasks_executed == executed
+
+
+def test_transient_study_result_json_round_trip():
+    from repro.pdn.transients import core_wake_trace
+
+    study = Study.over_transients(("darkgates",), [core_wake_trace(duration_s=1e-6)])
+    result = study.run()
+    restored = StudyResult.from_json(result.to_json())
+    assert restored.cells == result.cells
+
+
+def test_paper_transient_scenarios_run_through_study():
+    from repro.pdn.transients import paper_transient_scenarios
+
+    scenarios = paper_transient_scenarios(duration_s=1e-6)
+    study = Study(
+        ("darkgates", "baseline"), {"transients": list(scenarios)}, name="droops"
+    )
+    result = study.run()
+    for scenario in scenarios:
+        gated = result.get("baseline", scenario.name, suite="transients")
+        bypassed = result.get("darkgates", scenario.name, suite="transients")
+        assert gated.worst_droop_v > 0
+        assert bypassed.worst_droop_v > 0
