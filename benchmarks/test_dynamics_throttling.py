@@ -1,0 +1,75 @@
+"""Closed-loop dynamics — the TDP-limited turbo/throttle story over time.
+
+Paper shape (Sections 2.1 and 2.4.1, and the TDP-limited results): a system
+configured to a low TDP bursts above its sustained power behind PL2 while
+the EWMA of package power has headroom, then throttles back to the
+TDP-limited sustained frequency; a high-TDP desktop running the same
+workload never exhausts its power budget and stays pinned at the
+Vmax-limited frequency.  The closed-loop trajectory must also converge to
+exactly the operating point the static DVFS resolver reports.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.study import Study
+from repro.core.spec import build_engine, get_spec
+from repro.pmu.dvfs import CpuDemand, LimitingFactor
+from repro.workloads.dynamics import burst_scenario
+
+TDP_LEVELS_W = (35.0, 45.0, 65.0, 91.0)
+
+SCENARIO = burst_scenario(
+    idle_lead_s=20.0,
+    burst_s=100.0,
+    thermal_capacitance_j_per_c=5.0,
+    time_step_s=0.1,
+)
+
+
+def _run_sweep():
+    study = Study.over_dynamics(
+        ("baseline",), (SCENARIO,), tdp_levels_w=TDP_LEVELS_W, name="dynamics"
+    )
+    return study.run()
+
+
+def test_dynamics_tdp_story(benchmark):
+    grid = benchmark.pedantic(_run_sweep, rounds=1, iterations=1, warmup_rounds=0)
+    baseline = get_spec("baseline")
+    runs = {
+        tdp: grid.get(baseline.variant(tdp_w=tdp), SCENARIO.name, suite="dynamics")
+        for tdp in TDP_LEVELS_W
+    }
+
+    print()
+    for tdp, run in runs.items():
+        print(
+            f"  {tdp:>4.0f} W: burst {run.peak_frequency_hz / 1e9:.1f} GHz -> "
+            f"sustained {run.sustained_frequency_hz / 1e9:.1f} GHz "
+            f"({run.final_limiting_factor}), peak Tj {run.peak_temperature_c:.1f} C"
+        )
+
+    # 35 W: PL2 burst decays to the TDP-limited sustained frequency.
+    low = runs[35.0]
+    assert low.throttled
+    assert low.final_limiting_factor == LimitingFactor.TDP.value
+    assert low.peak_frequency_hz >= low.sustained_frequency_hz + 3e8
+
+    # 91 W: the same timeline stays Vmax-limited, no throttling.
+    high = runs[91.0]
+    assert not high.throttled
+    assert high.final_limiting_factor == LimitingFactor.VMAX.value
+
+    # Sustained frequency is monotone in TDP, and every trajectory converges
+    # to the static resolver's operating point.
+    sustained = [runs[tdp].sustained_frequency_hz for tdp in TDP_LEVELS_W]
+    assert sustained == sorted(sustained)
+    for tdp in TDP_LEVELS_W:
+        static = build_engine(
+            get_spec("baseline", tdp_w=tdp)
+        ).pcode.resolve_cpu_operating_point(CpuDemand(active_cores=4))
+        assert abs(runs[tdp].sustained_frequency_hz - static.frequency_hz) < 1e-3
+
+    # The thermal loop never lets the junction cross Tjmax.
+    for run in runs.values():
+        assert run.peak_temperature_c <= 100.0 + 1e-6

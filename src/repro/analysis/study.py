@@ -522,3 +522,30 @@ class Study:
             for trace in traces
         ]
         return cls(specs, {suite: scenarios}, **kwargs)
+
+    @classmethod
+    def over_dynamics(
+        cls,
+        specs: Sequence[Union[SystemSpec, str]],
+        scenarios: Sequence["DynamicScenario"],
+        tdp_levels_w: Optional[Iterable[float]] = None,
+        suite: str = "dynamics",
+        **kwargs: Any,
+    ) -> "Study":
+        """A closed-loop dynamics sweep: spec x TDP level x scenario.
+
+        Each cell steps one :class:`~repro.workloads.dynamics.DynamicScenario`
+        through the closed Pcode loop of the system built from one spec
+        variant, producing a :class:`~repro.sim.metrics.DynamicRunResult`.
+        When *tdp_levels_w* is given every spec is expanded to one variant
+        per level (TDP-major order, like :meth:`over_tdp_levels`), which is
+        how the paper's burst-vs-throttle TDP story is swept; results read
+        back with ``result.get(spec.variant(tdp_w=...), scenario.name,
+        suite)``.
+        """
+        resolved = [resolve_spec(spec) for spec in specs]
+        if tdp_levels_w is not None:
+            resolved = [
+                spec.variant(tdp_w=tdp) for tdp in tdp_levels_w for spec in resolved
+            ]
+        return cls(resolved, {suite: list(scenarios)}, **kwargs)

@@ -17,11 +17,17 @@ Models the firmware behaviours the paper extends for DarkGates (Section 4.2):
 """
 
 from repro.pmu.cstates import PackageCState, PackageCStateModel, PACKAGE_CSTATE_TABLE
-from repro.pmu.dvfs import DvfsPolicy, OperatingPoint, LimitingFactor, CpuDemand
+from repro.pmu.dvfs import (
+    CandidateTable,
+    CpuDemand,
+    DvfsPolicy,
+    LimitingFactor,
+    OperatingPoint,
+)
 from repro.pmu.fuses import FuseSet, PowerDeliveryMode
 from repro.pmu.pbm import GraphicsOperatingPoint, PowerBudgetManager
 from repro.pmu.pcode import Pcode
-from repro.pmu.turbo import TurboTable
+from repro.pmu.turbo import TurboBudgetManager, TurboTable
 from repro.pmu.vf_curve import VfCurve
 
 __all__ = [
@@ -37,6 +43,8 @@ __all__ = [
     "GraphicsOperatingPoint",
     "PowerBudgetManager",
     "Pcode",
+    "CandidateTable",
+    "TurboBudgetManager",
     "TurboTable",
     "VfCurve",
 ]

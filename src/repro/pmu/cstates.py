@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.soc.processor import Processor
@@ -64,6 +64,39 @@ class PackageCState(Enum):
                 f"unknown package C-state {name!r}; valid names "
                 f"(case-insensitive): {valid}"
             ) from None
+
+
+#: Break-even ladder of package C-state entry: (minimum idle-gap duration in
+#: seconds, state entered), shallow to deep.  Entering a deep state costs
+#: more transition energy than it saves below its break-even time, so very
+#: short gaps only reach the shallow states.  Shared by the residency tracker
+#: and the closed-loop dynamics engine.
+CSTATE_BREAK_EVEN_LADDER: Tuple[Tuple[float, "PackageCState"], ...] = (
+    (0.0, PackageCState.C2),
+    (0.0005, PackageCState.C3),
+    (0.002, PackageCState.C6),
+    (0.008, PackageCState.C7),
+    (0.030, PackageCState.C8),
+)
+
+
+def cstate_for_idle_duration(
+    duration_s: float, deepest_supported: "PackageCState"
+) -> "PackageCState":
+    """Deepest package C-state reachable for an idle gap of *duration_s*.
+
+    Walks :data:`CSTATE_BREAK_EVEN_LADDER` and clamps the result at the
+    platform's *deepest_supported* state (set by the fuses).
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration_s must be positive")
+    chosen = CSTATE_BREAK_EVEN_LADDER[0][1]
+    for minimum_s, state in CSTATE_BREAK_EVEN_LADDER:
+        if duration_s >= minimum_s:
+            chosen = state
+    if chosen.depth > deepest_supported.depth:
+        return deepest_supported
+    return chosen
 
 
 #: Entry conditions of each package C-state, condensed from the paper's Table 1.

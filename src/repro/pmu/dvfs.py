@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_in_range
@@ -32,6 +34,7 @@ class LimitingFactor(Enum):
     VMAX = "vmax"
     TDP = "tdp"
     ICCMAX = "iccmax"
+    THERMAL = "thermal"
     FREQUENCY_GRID = "frequency_grid"
     NONE = "none"
 
@@ -84,6 +87,132 @@ class OperatingPoint:
         return self.frequency_hz / 1e9
 
 
+#: Leakage contributions sharing one exponential temperature law:
+#: (kt, reference temperature, per-bin leakage at the reference temperature).
+LeakageGroup = Tuple[float, float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CandidateTable:
+    """Temperature-factored operating-point candidates over the whole grid.
+
+    The closed-loop dynamics engine re-resolves DVFS every time step, so the
+    per-bin quantities that do *not* depend on temperature (voltages, dynamic
+    power, the Vmax/Iccmax verdicts) are evaluated once per demand and only
+    the exponential leakage temperature terms are applied per step.  Leakage
+    contributions are grouped by their ``(kt, T_ref)`` law, which keeps the
+    per-step work at a handful of vectorized operations while reproducing
+    :meth:`DvfsPolicy.resolve`'s power arithmetic exactly.
+    """
+
+    frequencies_hz: np.ndarray
+    vr_voltages_v: np.ndarray
+    power_voltages_v: np.ndarray
+    active_dynamic_w: np.ndarray
+    active_leakage_groups: Tuple[LeakageGroup, ...]
+    idle_leakage_groups: Tuple[LeakageGroup, ...]
+    uncore_power_w: float
+    graphics_idle_power_w: float
+    vmax_ok: np.ndarray
+    iccmax_ok: np.ndarray
+
+    # -- temperature-dependent power ---------------------------------------------------
+
+    @staticmethod
+    def _groups_power_w(
+        groups: Tuple[LeakageGroup, ...], temperature_c: float
+    ) -> np.ndarray:
+        total = 0.0
+        for kt, reference_c, reference_w in groups:
+            total = total + reference_w * np.exp(kt * (temperature_c - reference_c))
+        return total
+
+    def active_cores_power_w(self, temperature_c: float) -> np.ndarray:
+        """Per-bin power of the active cores at *temperature_c*."""
+        return self.active_dynamic_w + self._groups_power_w(
+            self.active_leakage_groups, temperature_c
+        )
+
+    def idle_cores_power_w(self, temperature_c: float) -> np.ndarray:
+        """Per-bin power of the idle cores at *temperature_c*."""
+        return np.zeros_like(self.frequencies_hz) + self._groups_power_w(
+            self.idle_leakage_groups, temperature_c
+        )
+
+    def package_power_w(self, temperature_c: float) -> np.ndarray:
+        """Per-bin package power at *temperature_c*."""
+        return (
+            self.active_cores_power_w(temperature_c)
+            + self.idle_cores_power_w(temperature_c)
+            + self.uncore_power_w
+            + self.graphics_idle_power_w
+        )
+
+    # -- selection ---------------------------------------------------------------------
+
+    def select(
+        self,
+        power_limit_w: float,
+        temperature_c: float,
+        package_power_w: Optional[np.ndarray] = None,
+    ) -> Tuple[int, LimitingFactor]:
+        """Highest bin satisfying every limit at the instantaneous state.
+
+        Returns the chosen bin index and the limit that stops the next bin
+        up (mirroring :meth:`DvfsPolicy.resolve`'s reporting: the top bin
+        reports ``FREQUENCY_GRID``; an infeasible grid reports the first
+        limit the lowest bin violates, checked Vmax, then power, then
+        Iccmax).  Callers that already hold this temperature's per-bin
+        power vector may pass it as *package_power_w* to skip recomputing
+        the leakage terms.
+        """
+        power = (
+            self.package_power_w(temperature_c)
+            if package_power_w is None
+            else package_power_w
+        )
+        power_ok = power <= power_limit_w + 1e-9
+        allowed = self.vmax_ok & self.iccmax_ok & power_ok
+        if not allowed.any():
+            return 0, self._blocking_limit(0, power_ok)
+        index = int(np.max(np.nonzero(allowed)[0]))
+        if index == len(self.frequencies_hz) - 1:
+            return index, LimitingFactor.FREQUENCY_GRID
+        return index, self._blocking_limit(index + 1, power_ok)
+
+    def _blocking_limit(self, index: int, power_ok: np.ndarray) -> LimitingFactor:
+        if not self.vmax_ok[index]:
+            return LimitingFactor.VMAX
+        if not power_ok[index]:
+            return LimitingFactor.TDP
+        if not self.iccmax_ok[index]:
+            return LimitingFactor.ICCMAX
+        return LimitingFactor.NONE
+
+    def operating_point(
+        self,
+        index: int,
+        temperature_c: float,
+        limiting: LimitingFactor,
+    ) -> OperatingPoint:
+        """Materialise one bin as an :class:`OperatingPoint`."""
+        active = float(self.active_cores_power_w(temperature_c)[index])
+        idle = float(self.idle_cores_power_w(temperature_c)[index])
+        return OperatingPoint(
+            frequency_hz=float(self.frequencies_hz[index]),
+            voltage_v=float(self.vr_voltages_v[index]),
+            package_power_w=active
+            + idle
+            + self.uncore_power_w
+            + self.graphics_idle_power_w,
+            cores_power_w=active,
+            idle_cores_power_w=idle,
+            uncore_power_w=self.uncore_power_w,
+            limiting_factor=limiting,
+            junction_temperature_c=temperature_c,
+        )
+
+
 class DvfsPolicy:
     """Resolves CPU operating points for a processor and V/F curve.
 
@@ -118,6 +247,7 @@ class DvfsPolicy:
         self._graphics_idle_power_w = graphics_idle_power_w
         self._thermal_iterations = thermal_iterations
         self._thermal_model = processor.thermal_model()
+        self._candidate_tables: Dict[CpuDemand, CandidateTable] = {}
 
     # -- public API -----------------------------------------------------------------------
 
@@ -179,6 +309,117 @@ class DvfsPolicy:
         """Sustained package power at a specific frequency for *demand*."""
         _, point = self._evaluate(frequency_hz, demand, enforce_limits=False)
         return point.package_power_w
+
+    # -- instantaneous (closed-loop) resolution --------------------------------------------
+
+    def candidate_table(self, demand: CpuDemand) -> CandidateTable:
+        """Temperature-factored candidate table for *demand* (cached).
+
+        One table per demand supports the dynamics engine: voltages, dynamic
+        power and the Vmax/Iccmax verdicts are fixed per bin, so a time step
+        only has to apply the leakage temperature terms and pick a bin.
+        """
+        if demand.active_cores > self._processor.core_count:
+            raise ConfigurationError(
+                f"demand asks for {demand.active_cores} cores but the processor "
+                f"has {self._processor.core_count}"
+            )
+        table = self._candidate_tables.get(demand)
+        if table is None:
+            table = self._build_candidate_table(demand)
+            self._candidate_tables[demand] = table
+        return table
+
+    def resolve_at(
+        self,
+        demand: CpuDemand,
+        temperature_c: float,
+        power_limit_w: Optional[float] = None,
+    ) -> OperatingPoint:
+        """Best operating point at a *pinned* temperature and power limit.
+
+        Unlike :meth:`resolve`, which iterates power and temperature to their
+        sustained fixed point, this treats the junction temperature as state
+        (the dynamics engine owns it) and takes the instantaneous power limit
+        from the turbo budget rather than the static TDP.
+        """
+        limit = self._processor.tdp_w if power_limit_w is None else power_limit_w
+        table = self.candidate_table(demand)
+        index, limiting = table.select(limit, temperature_c)
+        return table.operating_point(index, temperature_c, limiting)
+
+    def _build_candidate_table(self, demand: CpuDemand) -> CandidateTable:
+        die = self._processor.die
+        frequencies = np.array(self._vf_curve.frequency_grid.points())
+        vr_voltages = np.array(
+            [
+                self._vf_curve.required_voltage_v(f, demand.active_cores)
+                for f in frequencies
+            ]
+        )
+        power_voltages = np.array(
+            [
+                self._vf_curve.power_voltage_v(f, demand.active_cores)
+                for f in frequencies
+            ]
+        )
+        active_cores = die.cores[: demand.active_cores]
+        idle_cores = die.cores[demand.active_cores :]
+        active_dynamic = np.array(
+            [
+                sum(
+                    core.dynamic.power_w(voltage, frequency, demand.activity)
+                    for core in active_cores
+                )
+                for frequency, voltage in zip(frequencies, power_voltages)
+            ]
+        )
+        gated = not self._bypass_mode
+        active_groups: Dict[Tuple[float, float], np.ndarray] = {}
+        idle_groups: Dict[Tuple[float, float], np.ndarray] = {}
+        for core in active_cores:
+            law = (
+                core.leakage.temperature_sensitivity_per_c,
+                core.leakage.reference_temperature_c,
+            )
+            reference = np.array(
+                [core.leakage.power_w(voltage, law[1]) for voltage in power_voltages]
+            )
+            active_groups[law] = active_groups.get(law, 0.0) + reference
+        for core in idle_cores:
+            law = (
+                core.leakage.temperature_sensitivity_per_c,
+                core.leakage.reference_temperature_c,
+            )
+            reference = np.array(
+                [
+                    core.idle_power_w(voltage, gated=gated, temperature_c=law[1])
+                    for voltage in power_voltages
+                ]
+            )
+            idle_groups[law] = idle_groups.get(law, 0.0) + reference
+        virus_current = np.array(
+            [
+                self._virus_current_a(frequency, voltage, demand)
+                for frequency, voltage in zip(frequencies, vr_voltages)
+            ]
+        )
+        return CandidateTable(
+            frequencies_hz=frequencies,
+            vr_voltages_v=vr_voltages,
+            power_voltages_v=power_voltages,
+            active_dynamic_w=active_dynamic,
+            active_leakage_groups=tuple(
+                (kt, ref_c, power) for (kt, ref_c), power in active_groups.items()
+            ),
+            idle_leakage_groups=tuple(
+                (kt, ref_c, power) for (kt, ref_c), power in idle_groups.items()
+            ),
+            uncore_power_w=die.uncore.package_c0_power_w(demand.memory_intensity),
+            graphics_idle_power_w=self._graphics_idle_power_w,
+            vmax_ok=vr_voltages <= self._vf_curve.vmax_v + 1e-9,
+            iccmax_ok=virus_current <= die.iccmax_a,
+        )
 
     # -- internals -------------------------------------------------------------------------
 

@@ -131,6 +131,16 @@ class Pcode:
         """The package C-state power model in use."""
         return self._cstates
 
+    @property
+    def dvfs_policy(self) -> DvfsPolicy:
+        """The DVFS (P-state) policy in use.
+
+        Exposed for the closed-loop dynamics engine, which re-resolves
+        operating points per time step against the policy's candidate
+        tables rather than the sustained fixed point.
+        """
+        return self._dvfs
+
     # -- CPU workloads --------------------------------------------------------------------
 
     def resolve_cpu_operating_point(self, demand: CpuDemand) -> OperatingPoint:

@@ -15,15 +15,17 @@ built on:
   SoC domains (CPU cores vs. graphics), used by the PBM firmware model.
 """
 
-from repro.power.budget import DomainPower, PowerBudget
+from repro.power.budget import DomainPower, EwmaPowerMeter, PowerBudget, TurboLimits
 from repro.power.cdyn import ActivityCdyn, CdynTable
 from repro.power.dynamic import DynamicPowerModel
 from repro.power.leakage import NOMINAL_SILICON_TEMPERATURE_C, LeakagePowerModel
-from repro.power.thermal import ThermalLimits, ThermalModel
+from repro.power.thermal import ThermalLimits, ThermalModel, TransientThermalModel
 
 __all__ = [
     "DomainPower",
+    "EwmaPowerMeter",
     "PowerBudget",
+    "TurboLimits",
     "ActivityCdyn",
     "CdynTable",
     "DynamicPowerModel",
@@ -31,4 +33,5 @@ __all__ = [
     "NOMINAL_SILICON_TEMPERATURE_C",
     "ThermalLimits",
     "ThermalModel",
+    "TransientThermalModel",
 ]

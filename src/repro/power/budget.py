@@ -5,10 +5,16 @@ budget, distributed at runtime by the power-budget-management (PBM)
 algorithm of the PMU (paper Section 2.1).  This module provides the simple
 accounting objects PBM operates on; the allocation *policy* lives in
 :mod:`repro.pmu.pbm`.
+
+It also provides the *time-dependent* budget objects behind the turbo
+behaviour of Section 2.1: the PL1/PL2 power-limit pair and the exponentially
+weighted moving-average (EWMA) accounting the firmware uses to decide how
+far above TDP a burst may go and for how long.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -59,8 +65,7 @@ class PowerBudget:
         reservation would exceed the total budget.
         """
         ensure_non_negative(power_w, "power_w")
-        if domain in self.allocations:
-            raise ConfigurationError(f"domain {domain!r} already allocated")
+        self._reject_reallocation(domain, power_w)
         if self.allocated_w() + power_w > self.total_w + 1e-9:
             raise ConstraintViolation(
                 "power budget", self.allocated_w() + power_w, self.total_w
@@ -70,10 +75,20 @@ class PowerBudget:
     def allocate_remainder(self, domain: str) -> float:
         """Give *domain* whatever budget is left and return that amount."""
         remainder = self.remaining_w()
-        if domain in self.allocations:
-            raise ConfigurationError(f"domain {domain!r} already allocated")
+        self._reject_reallocation(domain, remainder)
         self.allocations[domain] = remainder
         return remainder
+
+    def _reject_reallocation(self, domain: str, requested_w: float) -> None:
+        # Re-allocating a domain would silently drop its earlier reservation
+        # from the accounting, so it is treated as a hard budget violation
+        # rather than a configuration mistake the caller might swallow.
+        if domain in self.allocations:
+            raise ConstraintViolation(
+                f"power budget domain {domain!r} re-allocation",
+                requested_w,
+                self.allocations[domain],
+            )
 
     # -- queries -------------------------------------------------------------------
 
@@ -96,3 +111,105 @@ class PowerBudget:
     def utilisation(self) -> float:
         """Fraction of the total budget that has been reserved."""
         return self.allocated_w() / self.total_w
+
+
+# -- turbo power limits ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TurboLimits:
+    """The PL1/PL2 power-limit pair of the turbo algorithm (Section 2.1).
+
+    Parameters
+    ----------
+    pl1_w:
+        Sustained power limit; equals the TDP the cooling solution is sized
+        for, and is what the EWMA of package power must stay under.
+    pl2_w:
+        Instantaneous (burst) power limit the package may draw while the
+        EWMA has headroom.
+    tau_s:
+        Time constant of the EWMA accounting window: roughly how long a
+        PL2 burst may last before the average reaches PL1.
+    """
+
+    pl1_w: float
+    pl2_w: float
+    tau_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.pl1_w, "pl1_w")
+        ensure_positive(self.pl2_w, "pl2_w")
+        ensure_positive(self.tau_s, "tau_s")
+        if self.pl2_w < self.pl1_w:
+            raise ConfigurationError("pl2_w must be >= pl1_w")
+
+    @classmethod
+    def from_tdp(
+        cls, tdp_w: float, pl2_ratio: float = 1.25, tau_s: float = 10.0
+    ) -> "TurboLimits":
+        """The conventional client configuration: PL1 = TDP, PL2 = ratio x TDP."""
+        ensure_positive(tdp_w, "tdp_w")
+        if pl2_ratio < 1.0:
+            raise ConfigurationError("pl2_ratio must be >= 1.0")
+        return cls(pl1_w=tdp_w, pl2_w=tdp_w * pl2_ratio, tau_s=tau_s)
+
+
+class EwmaPowerMeter:
+    """Exponentially weighted moving average of package power.
+
+    This is the running-average-power accounting behind PL1: after each
+    simulation step of constant power ``P`` the average relaxes toward ``P``
+    with the window time constant.  The inverse question — "how much power
+    may the next step draw without pushing the average past a limit?" — is
+    what converts the EWMA state into an instantaneous budget.
+
+    Parameters
+    ----------
+    tau_s:
+        Averaging-window time constant.
+    initial_average_w:
+        Average at t=0.  Zero (the default) models a package that has been
+        idle long enough to bank its full turbo budget.
+    """
+
+    def __init__(self, tau_s: float, initial_average_w: float = 0.0) -> None:
+        ensure_positive(tau_s, "tau_s")
+        ensure_non_negative(initial_average_w, "initial_average_w")
+        self._tau_s = tau_s
+        self._average_w = initial_average_w
+
+    @property
+    def average_w(self) -> float:
+        """Present value of the moving average."""
+        return self._average_w
+
+    @property
+    def tau_s(self) -> float:
+        """Averaging-window time constant."""
+        return self._tau_s
+
+    def decay(self, time_step_s: float) -> float:
+        """EWMA retention factor ``exp(-dt / tau)`` for one step."""
+        ensure_positive(time_step_s, "time_step_s")
+        return math.exp(-time_step_s / self._tau_s)
+
+    def update(self, power_w: float, time_step_s: float) -> float:
+        """Account *time_step_s* of constant *power_w* and return the average."""
+        ensure_non_negative(power_w, "power_w")
+        keep = self.decay(time_step_s)
+        self._average_w = self._average_w * keep + power_w * (1.0 - keep)
+        return self._average_w
+
+    def max_power_keeping_average_w(
+        self, limit_w: float, time_step_s: float
+    ) -> float:
+        """Largest next-step power that keeps the updated average <= *limit_w*.
+
+        Inverts :meth:`update` for ``average' == limit_w``; never negative
+        (an average already above the limit simply forbids any draw until it
+        decays back below).
+        """
+        ensure_non_negative(limit_w, "limit_w")
+        keep = self.decay(time_step_s)
+        return max(0.0, (limit_w - self._average_w * keep) / (1.0 - keep))

@@ -20,6 +20,7 @@ than the 91 W ones.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigurationError
@@ -89,3 +90,83 @@ class ThermalModel:
         if extra_power_w < 0:
             raise ConfigurationError("extra_power_w must be >= 0")
         return self.thermal_resistance_c_per_w * extra_power_w
+
+
+@dataclass(frozen=True)
+class TransientThermalModel:
+    """First-order (lumped RC) transient extension of :class:`ThermalModel`.
+
+    The steady-state model fixes the thermal resistance R from the TDP /
+    Tjmax co-design; adding a thermal capacitance C gives the junction the
+    exponential step response that makes turbo possible in the first place
+    (paper Section 2.4.1): a burst above TDP heats the die toward an
+    over-Tjmax steady state but only *reaches* Tjmax after a few time
+    constants, which is the window PL2 exploits.
+
+    Parameters
+    ----------
+    steady_state:
+        The co-designed steady-state model (provides R and the limits).
+    capacitance_j_per_c:
+        Lumped thermal capacitance of die plus cooling solution.  The time
+        constant is ``tau = R * C``.
+    """
+
+    steady_state: ThermalModel
+    capacitance_j_per_c: float = 60.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.capacitance_j_per_c, "capacitance_j_per_c")
+
+    @property
+    def limits(self) -> ThermalLimits:
+        """Thermal design limits of the configuration."""
+        return self.steady_state.limits
+
+    @property
+    def time_constant_s(self) -> float:
+        """Thermal time constant ``tau = R * C`` of the lumped model."""
+        return (
+            self.steady_state.thermal_resistance_c_per_w * self.capacitance_j_per_c
+        )
+
+    def steady_temperature_c(self, power_w: float) -> float:
+        """Temperature the junction would settle at under constant *power_w*."""
+        return self.steady_state.junction_temperature_c(power_w)
+
+    def step(self, temperature_c: float, power_w: float, time_step_s: float) -> float:
+        """Junction temperature after *time_step_s* of constant *power_w*.
+
+        Exact solution of ``C dT/dt = P - (T - Tamb)/R`` over the step:
+        the temperature relaxes exponentially toward the steady state of the
+        applied power.
+        """
+        ensure_positive(time_step_s, "time_step_s")
+        target = self.steady_temperature_c(power_w)
+        decay = math.exp(-time_step_s / self.time_constant_s)
+        return target + (temperature_c - target) * decay
+
+    def settling_time_s(self, tolerance_c: float = 0.1, swing_c: float = 65.0) -> float:
+        """Time for a *swing_c* temperature step to settle within *tolerance_c*."""
+        ensure_positive(tolerance_c, "tolerance_c")
+        ensure_positive(swing_c, "swing_c")
+        return self.time_constant_s * math.log(swing_c / tolerance_c)
+
+    def max_power_keeping_tjmax_w(
+        self, temperature_c: float, time_step_s: float
+    ) -> float:
+        """Largest constant power over the next step that keeps T <= Tjmax.
+
+        Inverts :meth:`step` for ``T(t + dt) == Tjmax``: this is the thermal
+        throttle the firmware applies when a turbo burst has driven the
+        junction to the limit.  Very large while the die is cool (a short
+        step cannot reach Tjmax), approaching the TDP as T approaches Tjmax.
+        """
+        ensure_positive(time_step_s, "time_step_s")
+        decay = math.exp(-time_step_s / self.time_constant_s)
+        limits = self.limits
+        target_ceiling = (limits.tjmax_c - temperature_c * decay) / (1.0 - decay)
+        power = (
+            target_ceiling - limits.ambient_c
+        ) / self.steady_state.thermal_resistance_c_per_w
+        return max(0.0, power)

@@ -11,11 +11,15 @@ which round-trip through JSON via ``to_dict()`` / ``RunResult.from_dict()``.
 * :mod:`repro.sim.metrics` — result dataclasses.
 * :mod:`repro.sim.engine` — the engine itself.
 * :mod:`repro.sim.residency` — phase-trace replay and residency accounting.
+* :mod:`repro.sim.dynamics` — the closed-loop (time-stepped) Pcode dynamics
+  engine: turbo budget, thermal RC, per-step DVFS, package C-states.
 """
 
+from repro.sim.dynamics import DynamicsSimulator
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import (
     CpuRunResult,
+    DynamicRunResult,
     EnergyRunResult,
     GraphicsRunResult,
     PhaseEnergy,
@@ -27,6 +31,8 @@ __all__ = [
     "SimulationEngine",
     "RunResult",
     "CpuRunResult",
+    "DynamicRunResult",
+    "DynamicsSimulator",
     "EnergyRunResult",
     "GraphicsRunResult",
     "PhaseEnergy",

@@ -1,0 +1,269 @@
+"""The closed-loop Pcode dynamics engine.
+
+The steady-state models resolve *operating points*; this module resolves
+*trajectories*.  :class:`DynamicsSimulator` steps a
+:class:`~repro.workloads.dynamics.DynamicScenario` through time, closing the
+loop between four firmware/physics subsystems every step:
+
+1. **Turbo power budget** — a PL1/PL2 pair with EWMA accounting
+   (:class:`~repro.pmu.turbo.TurboBudgetManager`): the package may burst to
+   PL2 while the moving average of power has headroom below PL1 (the TDP),
+   then the budget squeezes back to the sustained level.
+2. **Thermal RC model** — the junction temperature follows the exponential
+   step response of :class:`~repro.power.thermal.TransientThermalModel`, and
+   a thermal throttle caps the next step's power so Tjmax is never crossed.
+3. **DVFS re-resolution** — every step picks the highest 100 MHz bin that
+   satisfies Vmax, Iccmax and the *instantaneous* power limit at the
+   *current* junction temperature, via the vectorized
+   :class:`~repro.pmu.dvfs.CandidateTable`.
+4. **Package C-states** — idle gaps enter the state the break-even ladder
+   allows for their duration (clamped at the fused deepest state), and the
+   idle power both cools the die and re-banks the turbo budget.
+
+Once a sustained stretch exhausts the turbo budget (the EWMA reaches PL1),
+the firmware latches the *sustained* operating point — the one the static
+:meth:`~repro.pmu.dvfs.DvfsPolicy.resolve` computes from the TDP tables —
+until an idle gap re-banks enough budget.  This reproduces the paper's
+TDP-limited behaviour exactly: a long constant-demand scenario converges to
+the same 100 MHz bin (and thermal fixed point) the steady-state resolver
+reports, while low-TDP configurations show the PL2-burst-then-throttle
+transient on the way there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.pmu.cstates import PackageCState, cstate_for_idle_duration
+from repro.pmu.dvfs import CandidateTable, CpuDemand, LimitingFactor, OperatingPoint
+from repro.pmu.pcode import Pcode
+from repro.pmu.turbo import TurboBudgetManager
+from repro.power.budget import TurboLimits
+from repro.power.thermal import TransientThermalModel
+from repro.sim.metrics import DynamicRunResult
+from repro.workloads.dynamics import AUTO_CSTATE, DynamicPhase, DynamicScenario
+
+
+@dataclass(frozen=True)
+class _SustainedPoint:
+    """The static (TDP-table) operating point for one demand, pre-resolved."""
+
+    bin_index: int
+    limiting: LimitingFactor
+    operating_point: OperatingPoint
+
+
+class _TraceRecorder:
+    """Accumulates the per-step traces of one run."""
+
+    def __init__(self) -> None:
+        self.times_s: List[float] = []
+        self.frequencies_hz: List[float] = []
+        self.package_powers_w: List[float] = []
+        self.temperatures_c: List[float] = []
+        self.average_powers_w: List[float] = []
+        self.limiting_factors: List[str] = []
+        self.package_cstates: List[str] = []
+
+    def record(
+        self,
+        time_s: float,
+        frequency_hz: float,
+        package_power_w: float,
+        temperature_c: float,
+        average_power_w: float,
+        limiting: LimitingFactor,
+        cstate: str,
+    ) -> None:
+        self.times_s.append(time_s)
+        self.frequencies_hz.append(frequency_hz)
+        self.package_powers_w.append(package_power_w)
+        self.temperatures_c.append(temperature_c)
+        self.average_powers_w.append(average_power_w)
+        self.limiting_factors.append(limiting.value)
+        self.package_cstates.append(cstate)
+
+
+class DynamicsSimulator:
+    """Steps dynamic scenarios through the closed firmware loop.
+
+    Parameters
+    ----------
+    pcode:
+        The firmware-configured system (provides the DVFS policy, the
+        C-state power model, the TDP, and the thermal design limits).
+    """
+
+    def __init__(self, pcode: Pcode) -> None:
+        self._pcode = pcode
+        self._sustained_cache: Dict[CpuDemand, _SustainedPoint] = {}
+
+    @property
+    def pcode(self) -> Pcode:
+        """The firmware configuration this simulator drives."""
+        return self._pcode
+
+    # -- public API --------------------------------------------------------------------
+
+    def run(self, scenario: DynamicScenario) -> DynamicRunResult:
+        """Simulate *scenario* and return the full trajectory."""
+        processor = self._pcode.processor
+        thermal = TransientThermalModel(
+            steady_state=processor.thermal_model(),
+            capacitance_j_per_c=scenario.thermal_capacitance_j_per_c,
+        )
+        limits = TurboLimits.from_tdp(
+            processor.tdp_w,
+            pl2_ratio=scenario.pl2_ratio,
+            tau_s=scenario.turbo_tau_s,
+        )
+        turbo = TurboBudgetManager(
+            limits, initial_average_w=scenario.initial_average_power_w
+        )
+        temperature = (
+            scenario.initial_temperature_c
+            if scenario.initial_temperature_c is not None
+            else thermal.limits.ambient_c
+        )
+        burst_armed = scenario.initial_average_power_w < limits.pl1_w
+        recorder = _TraceRecorder()
+        time_s = 0.0
+        dt = scenario.time_step_s
+        # Phase boundaries are quantised to the global step grid from the
+        # *cumulative* timeline (each phase keeps at least one step), so
+        # rounding never accumulates across a multi-phase scenario: the run
+        # always ends within half a step of scenario.duration_s.
+        elapsed_steps = 0
+        scheduled_end_s = 0.0
+        for phase in scenario.phases:
+            scheduled_end_s += phase.duration_s
+            steps = max(1, round(scheduled_end_s / dt) - elapsed_steps)
+            elapsed_steps += steps
+            if phase.is_idle:
+                stepper = self._idle_stepper(phase)
+            else:
+                stepper = self._active_stepper(phase, limits, thermal, turbo)
+            for _ in range(steps):
+                frequency, power, limiting, cstate, exhausted = stepper(
+                    temperature, burst_armed, dt
+                )
+                average = turbo.account(power, dt)
+                temperature = thermal.step(temperature, power, dt)
+                if exhausted:
+                    burst_armed = False
+                elif average <= limits.pl1_w * scenario.rebank_fraction:
+                    burst_armed = True
+                time_s += dt
+                recorder.record(
+                    time_s, frequency, power, temperature, average, limiting, cstate
+                )
+        return DynamicRunResult(
+            scenario_name=scenario.name,
+            time_step_s=dt,
+            pl1_w=limits.pl1_w,
+            pl2_w=limits.pl2_w,
+            times_s=tuple(recorder.times_s),
+            frequencies_hz=tuple(recorder.frequencies_hz),
+            package_powers_w=tuple(recorder.package_powers_w),
+            temperatures_c=tuple(recorder.temperatures_c),
+            average_powers_w=tuple(recorder.average_powers_w),
+            limiting_factors=tuple(recorder.limiting_factors),
+            package_cstates=tuple(recorder.package_cstates),
+        )
+
+    # -- per-phase steppers ------------------------------------------------------------
+
+    def _idle_stepper(self, phase: DynamicPhase):
+        state = self._resolve_idle_state(phase)
+        power = self._pcode.cstate_model.power_w(state)
+
+        def step(
+            temperature: float, burst_armed: bool, dt: float
+        ) -> Tuple[float, float, LimitingFactor, str, bool]:
+            return 0.0, power, LimitingFactor.NONE, state.value, False
+
+        return step
+
+    def _active_stepper(
+        self,
+        phase: DynamicPhase,
+        limits: TurboLimits,
+        thermal: TransientThermalModel,
+        turbo: TurboBudgetManager,
+    ):
+        demand = phase.demand()
+        table = self._pcode.dvfs_policy.candidate_table(demand)
+        sustained = self._sustained_point(demand, table)
+
+        def step(
+            temperature: float, burst_armed: bool, dt: float
+        ) -> Tuple[float, float, LimitingFactor, str, bool]:
+            thermal_cap = thermal.max_power_keeping_tjmax_w(temperature, dt)
+            powers = table.package_power_w(temperature)
+            exhausted = False
+            if burst_armed:
+                budget = turbo.power_budget_w(dt)  # already PL2-clamped
+                index, limiting = table.select(
+                    min(budget, thermal_cap), temperature, package_power_w=powers
+                )
+                if limiting is LimitingFactor.TDP and thermal_cap < budget:
+                    limiting = LimitingFactor.THERMAL
+                # The power-limited search (EWMA budget or thermal throttle)
+                # decaying onto or below the sustained bin means the turbo
+                # bank is spent: latch the sustained (TDP-table) point until
+                # an idle gap re-banks budget.
+                if (
+                    limiting in (LimitingFactor.TDP, LimitingFactor.THERMAL)
+                    and index <= sustained.bin_index
+                ):
+                    exhausted = True
+            else:
+                # Bank exhausted: burst bins are off the table; the ceiling
+                # is the sustained (TDP-table) bin, still subject to the
+                # instantaneous PL2/thermal envelope.
+                index, limiting = table.select(
+                    min(limits.pl2_w, thermal_cap), temperature, package_power_w=powers
+                )
+                if limiting is LimitingFactor.TDP and thermal_cap < limits.pl2_w:
+                    limiting = LimitingFactor.THERMAL
+                if index >= sustained.bin_index:
+                    index, limiting = sustained.bin_index, sustained.limiting
+            power = float(powers[index])
+            return float(table.frequencies_hz[index]), power, limiting, "C0", exhausted
+
+        return step
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _resolve_idle_state(self, phase: DynamicPhase) -> PackageCState:
+        deepest = self._pcode.deepest_package_cstate()
+        name = phase.package_cstate.strip()
+        if name.lower() == AUTO_CSTATE:
+            return cstate_for_idle_duration(phase.duration_s, deepest)
+        if name.lower() == "deepest":
+            return deepest
+        state = PackageCState.from_name(name)
+        if state is PackageCState.C0:
+            raise ConfigurationError(
+                f"idle phase {phase.name!r} cannot pin package C0"
+            )
+        return state if state.depth <= deepest.depth else deepest
+
+    def _sustained_point(
+        self, demand: CpuDemand, table: CandidateTable
+    ) -> _SustainedPoint:
+        cached = self._sustained_cache.get(demand)
+        if cached is None:
+            point = self._pcode.resolve_cpu_operating_point(demand)
+            index = int(np.argmin(np.abs(table.frequencies_hz - point.frequency_hz)))
+            cached = _SustainedPoint(
+                bin_index=index,
+                limiting=point.limiting_factor,
+                operating_point=point,
+            )
+            self._sustained_cache[demand] = cached
+        return cached

@@ -21,8 +21,10 @@ from repro.pmu.dvfs import CpuDemand
 from repro.pmu.pbm import GraphicsDemand
 from repro.pmu.pcode import Pcode
 from repro.power.leakage import NOMINAL_SILICON_TEMPERATURE_C
+from repro.sim.dynamics import DynamicsSimulator
 from repro.sim.metrics import (
     CpuRunResult,
+    DynamicRunResult,
     EnergyRunResult,
     GraphicsRunResult,
     PhaseEnergy,
@@ -36,6 +38,7 @@ from repro.workloads.descriptors import (
     ScenarioPhase,
     Workload,
 )
+from repro.workloads.dynamics import DynamicScenario
 
 
 class SimulationEngine:
@@ -47,11 +50,13 @@ class SimulationEngine:
         GraphicsWorkload.kind: "run_graphics_workload",
         EnergyScenario.kind: "run_energy_scenario",
         TransientScenario.kind: "run_transient_scenario",
+        DynamicScenario.kind: "run_dynamic_scenario",
     }
 
     def __init__(self, pcode: Pcode) -> None:
         self._pcode = pcode
         self._droop_simulators: Dict[float, DroopSimulator] = {}
+        self._dynamics_simulator: Optional[DynamicsSimulator] = None
 
     @property
     def pcode(self) -> Pcode:
@@ -67,7 +72,8 @@ class SimulationEngine:
         :class:`CpuWorkload` -> :class:`CpuRunResult`,
         :class:`GraphicsWorkload` -> :class:`GraphicsRunResult`,
         :class:`EnergyScenario` -> :class:`EnergyRunResult`,
-        :class:`TransientScenario` -> :class:`TransientRunResult`.
+        :class:`TransientScenario` -> :class:`TransientRunResult`,
+        :class:`DynamicScenario` -> :class:`DynamicRunResult`.
         """
         method_name = self._DISPATCH.get(getattr(workload, "kind", None))
         if method_name is None:
@@ -159,6 +165,20 @@ class SimulationEngine:
             )
             self._droop_simulators[nominal_voltage_v] = simulator
         return simulator
+
+    # -- dynamic (time-stepped) scenarios --------------------------------------------------
+
+    def run_dynamic_scenario(self, scenario: DynamicScenario) -> DynamicRunResult:
+        """Step a dynamic scenario through the closed Pcode loop.
+
+        The loop couples the PL1/PL2 turbo budget, the lumped thermal RC
+        model, per-step DVFS re-resolution and package C-state entry; see
+        :mod:`repro.sim.dynamics`.  The simulator is shared across runs so
+        per-demand candidate tables are built once per engine.
+        """
+        if self._dynamics_simulator is None:
+            self._dynamics_simulator = DynamicsSimulator(self._pcode)
+        return self._dynamics_simulator.run(scenario)
 
     # -- energy scenarios ------------------------------------------------------------------
 

@@ -10,7 +10,7 @@ round-tripping via :meth:`RunResult.to_dict` / :meth:`RunResult.from_dict`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, ClassVar, Dict, Tuple, Type
+from typing import Any, ClassVar, Dict, List, Tuple, Type
 
 from repro.common.errors import ConfigurationError
 from repro.pmu.dvfs import LimitingFactor, OperatingPoint
@@ -317,9 +317,178 @@ class TransientRunResult(RunResult):
         return cls(**payload)
 
 
+@dataclass(frozen=True)
+class DynamicRunResult(RunResult):
+    """Outcome of stepping one dynamic scenario through the closed loop.
+
+    Carries the full per-step traces (frequency, package power, junction
+    temperature, EWMA of power, limiting factor, package C-state) plus the
+    PL1/PL2 configuration the run executed under.  Sample ``i`` describes
+    the step ending at ``times_s[i]``; temperatures are post-step.
+    """
+
+    kind: ClassVar[str] = "dynamic"
+
+    scenario_name: str
+    time_step_s: float
+    pl1_w: float
+    pl2_w: float
+    times_s: Tuple[float, ...]
+    frequencies_hz: Tuple[float, ...]
+    package_powers_w: Tuple[float, ...]
+    temperatures_c: Tuple[float, ...]
+    average_powers_w: Tuple[float, ...]
+    limiting_factors: Tuple[str, ...]
+    package_cstates: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(trace)
+            for trace in (
+                self.times_s,
+                self.frequencies_hz,
+                self.package_powers_w,
+                self.temperatures_c,
+                self.average_powers_w,
+                self.limiting_factors,
+                self.package_cstates,
+            )
+        }
+        if len(lengths) != 1 or 0 in lengths:
+            raise ConfigurationError(
+                f"dynamic run {self.scenario_name!r} traces must be non-empty "
+                "and of equal length"
+            )
+
+    # -- common interface --------------------------------------------------------------
+
+    @property
+    def workload_name(self) -> str:
+        """Scenario name under the common result interface."""
+        return self.scenario_name
+
+    @property
+    def primary_metric(self) -> float:
+        """Sustained core frequency in GHz (the TDP-story number)."""
+        return self.sustained_frequency_hz / 1e9
+
+    # -- summary metrics ---------------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated time."""
+        return self.times_s[-1]
+
+    def _active_indices(self) -> List[int]:
+        return [i for i, f in enumerate(self.frequencies_hz) if f > 0.0]
+
+    @property
+    def average_frequency_hz(self) -> float:
+        """Mean frequency over the active steps (0 if the run never woke)."""
+        active = self._active_indices()
+        if not active:
+            return 0.0
+        return sum(self.frequencies_hz[i] for i in active) / len(active)
+
+    @property
+    def peak_frequency_hz(self) -> float:
+        """Highest frequency reached."""
+        return max(self.frequencies_hz)
+
+    @property
+    def sustained_frequency_hz(self) -> float:
+        """Frequency the run settled at: mean of the last tenth of the
+        active steps (0 if the run never woke)."""
+        active = self._active_indices()
+        if not active:
+            return 0.0
+        tail = active[-max(1, len(active) // 10) :]
+        return sum(self.frequencies_hz[i] for i in tail) / len(tail)
+
+    @property
+    def peak_temperature_c(self) -> float:
+        """Hottest junction temperature of the run."""
+        return max(self.temperatures_c)
+
+    @property
+    def final_temperature_c(self) -> float:
+        """Junction temperature at the end of the run."""
+        return self.temperatures_c[-1]
+
+    @property
+    def average_power_w(self) -> float:
+        """Time-average package power over the whole run."""
+        return sum(self.package_powers_w) / len(self.package_powers_w)
+
+    @property
+    def throttled(self) -> bool:
+        """True when the run burst above its sustained frequency."""
+        return self.peak_frequency_hz > self.sustained_frequency_hz + 1e-6
+
+    @property
+    def final_limiting_factor(self) -> str:
+        """Limiting factor of the last active step ("none" if never active)."""
+        active = self._active_indices()
+        if not active:
+            return LimitingFactor.NONE.value
+        return self.limiting_factors[active[-1]]
+
+    def limiting_breakdown(self) -> Dict[str, float]:
+        """Fraction of active steps stopped by each limiting factor."""
+        active = self._active_indices()
+        if not active:
+            return {}
+        counts: Dict[str, int] = {}
+        for i in active:
+            counts[self.limiting_factors[i]] = counts.get(self.limiting_factors[i], 0) + 1
+        return {factor: count / len(active) for factor, count in counts.items()}
+
+    def cstate_residency(self) -> Dict[str, float]:
+        """Fraction of the run spent in each package C-state (C0 == active)."""
+        counts: Dict[str, int] = {}
+        for state in self.package_cstates:
+            counts[state] = counts.get(state, 0) + 1
+        return {state: count / len(self.package_cstates) for state, count in counts.items()}
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "scenario_name": self.scenario_name,
+            "time_step_s": self.time_step_s,
+            "pl1_w": self.pl1_w,
+            "pl2_w": self.pl2_w,
+            "times_s": list(self.times_s),
+            "frequencies_hz": list(self.frequencies_hz),
+            "package_powers_w": list(self.package_powers_w),
+            "temperatures_c": list(self.temperatures_c),
+            "average_powers_w": list(self.average_powers_w),
+            "limiting_factors": list(self.limiting_factors),
+            "package_cstates": list(self.package_cstates),
+        }
+
+    @classmethod
+    def _from_payload(cls, data: Dict[str, Any]) -> "DynamicRunResult":
+        return cls(
+            scenario_name=data["scenario_name"],
+            time_step_s=data["time_step_s"],
+            pl1_w=data["pl1_w"],
+            pl2_w=data["pl2_w"],
+            times_s=tuple(data["times_s"]),
+            frequencies_hz=tuple(data["frequencies_hz"]),
+            package_powers_w=tuple(data["package_powers_w"]),
+            temperatures_c=tuple(data["temperatures_c"]),
+            average_powers_w=tuple(data["average_powers_w"]),
+            limiting_factors=tuple(data["limiting_factors"]),
+            package_cstates=tuple(data["package_cstates"]),
+        )
+
+
 _RESULT_TYPES: Dict[str, Type[RunResult]] = {
     CpuRunResult.kind: CpuRunResult,
     GraphicsRunResult.kind: GraphicsRunResult,
     EnergyRunResult.kind: EnergyRunResult,
     TransientRunResult.kind: TransientRunResult,
+    DynamicRunResult.kind: DynamicRunResult,
 }

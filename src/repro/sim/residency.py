@@ -11,11 +11,15 @@ setup.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_positive
-from repro.pmu.cstates import PackageCState
+from repro.pmu.cstates import (
+    CSTATE_BREAK_EVEN_LADDER,
+    PackageCState,
+    cstate_for_idle_duration,
+)
 from repro.pmu.pcode import Pcode
 from repro.workloads.phases import PhaseTrace
 
@@ -38,20 +42,15 @@ class ResidencyReport:
 class ResidencyTracker:
     """Replays a phase trace against one firmware configuration.
 
-    Idle gaps are mapped to package C-states by their duration: very short
+    Idle gaps are mapped to package C-states by their duration through the
+    shared :data:`~repro.pmu.cstates.CSTATE_BREAK_EVEN_LADDER`: very short
     gaps only reach the shallow states (entering a deep state costs more
     energy than it saves below its break-even time), longer gaps reach the
     deepest state the platform supports.
     """
 
-    #: (minimum idle duration in seconds, state entered) — shallow to deep.
-    _BREAK_EVEN_LADDER: Tuple[Tuple[float, str], ...] = (
-        (0.0, "C2"),
-        (0.0005, "C3"),
-        (0.002, "C6"),
-        (0.008, "C7"),
-        (0.030, "C8"),
-    )
+    #: Shared break-even ladder (kept as an attribute for introspection).
+    _BREAK_EVEN_LADDER = CSTATE_BREAK_EVEN_LADDER
 
     def __init__(self, pcode: Pcode) -> None:
         self._pcode = pcode
@@ -59,15 +58,9 @@ class ResidencyTracker:
     def state_for_idle_duration(self, duration_s: float) -> PackageCState:
         """Deepest state reachable for an idle gap of *duration_s*."""
         ensure_positive(duration_s, "duration_s")
-        chosen = "C2"
-        for minimum, state_name in self._BREAK_EVEN_LADDER:
-            if duration_s >= minimum:
-                chosen = state_name
-        state = PackageCState.from_name(chosen)
-        deepest = self._pcode.deepest_package_cstate()
-        if state.depth > deepest.depth:
-            return deepest
-        return state
+        return cstate_for_idle_duration(
+            duration_s, self._pcode.deepest_package_cstate()
+        )
 
     def replay(self, trace: PhaseTrace) -> ResidencyReport:
         """Replay *trace* and report residencies, average power and energy."""

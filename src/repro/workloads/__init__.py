@@ -19,6 +19,8 @@ through :class:`repro.analysis.study.Study`:
   guardband and EDC sizing.
 * :mod:`repro.workloads.phases` — simple activity-phase traces for the
   residency simulator.
+* :mod:`repro.workloads.dynamics` — timed phase timelines
+  (:class:`DynamicScenario`) for the closed-loop dynamics engine.
 """
 
 from repro.workloads.descriptors import (
@@ -28,6 +30,13 @@ from repro.workloads.descriptors import (
     ResidencyPhase,
     ScenarioPhase,
     Workload,
+)
+from repro.workloads.dynamics import (
+    DynamicPhase,
+    DynamicScenario,
+    burst_scenario,
+    sprint_and_rest_scenario,
+    sustained_scenario,
 )
 from repro.workloads.energy import energy_star_scenario, rmt_scenario
 from repro.workloads.graphics import three_dmark_suite
@@ -45,6 +54,11 @@ __all__ = [
     "GraphicsWorkload",
     "ResidencyPhase",
     "ScenarioPhase",
+    "DynamicPhase",
+    "DynamicScenario",
+    "burst_scenario",
+    "sprint_and_rest_scenario",
+    "sustained_scenario",
     "energy_star_scenario",
     "rmt_scenario",
     "three_dmark_suite",

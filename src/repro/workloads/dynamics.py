@@ -1,0 +1,289 @@
+"""Time-stepped (dynamic) workload scenarios.
+
+The steady-state workload classes describe *what* runs; a
+:class:`DynamicScenario` additionally describes *when*: a declarative
+timeline of :class:`DynamicPhase` entries (compute bursts, sustained
+stretches, idle gaps) that the closed-loop dynamics engine
+(:mod:`repro.sim.dynamics`) steps through while re-resolving DVFS under the
+instantaneous turbo/thermal limits.  This is the workload shape behind the
+paper's time-dependent firmware behaviour: turbo bursts above TDP, the decay
+to the sustained (TDP-limited) frequency, and package C-state entry during
+idle gaps.
+
+Scenarios are frozen and hashable, so they key study caches and pickle
+across process-pool executors like every other workload class.  The phase
+timeline deliberately reuses the vocabulary of
+:class:`~repro.workloads.descriptors.ScenarioPhase`:
+:meth:`DynamicPhase.from_scenario_phase` and
+:meth:`DynamicScenario.from_energy_scenario` turn a residency mix into a
+concrete timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.validation import ensure_in_range, ensure_positive
+from repro.pmu.dvfs import CpuDemand
+from repro.workloads.descriptors import EnergyScenario, ScenarioPhase
+
+#: ``package_cstate`` value asking the engine to pick the idle state from the
+#: gap duration via the break-even ladder.
+AUTO_CSTATE = "auto"
+
+
+@dataclass(frozen=True)
+class DynamicPhase:
+    """One timed phase of a dynamic scenario.
+
+    Parameters
+    ----------
+    name:
+        Phase label (shows up in traces and reports).
+    duration_s:
+        How long the phase lasts.
+    active_cores:
+        Cores executing during the phase; 0 makes this an idle gap.
+    activity:
+        Cdyn fraction of the running code (active phases only).
+    memory_intensity:
+        0..1 memory-traffic intensity (active phases only).
+    package_cstate:
+        Idle state of an idle phase: a state name (any case),
+        ``"deepest"``, or :data:`AUTO_CSTATE` to derive it from the gap
+        duration through the break-even ladder.
+    """
+
+    name: str
+    duration_s: float
+    active_cores: int = 0
+    activity: float = 0.62
+    memory_intensity: float = 0.2
+    package_cstate: str = AUTO_CSTATE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("phase name must be a non-empty string")
+        ensure_positive(self.duration_s, "duration_s")
+        if self.active_cores < 0:
+            raise ConfigurationError("active_cores must be >= 0")
+        ensure_in_range(self.activity, 0.0, 1.0, "activity")
+        ensure_in_range(self.memory_intensity, 0.0, 1.0, "memory_intensity")
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no core executes during this phase."""
+        return self.active_cores == 0
+
+    def demand(self) -> CpuDemand:
+        """The DVFS demand of an active phase."""
+        if self.is_idle:
+            raise ConfigurationError(f"phase {self.name!r} is idle; it has no demand")
+        return CpuDemand(
+            active_cores=self.active_cores,
+            activity=self.activity,
+            memory_intensity=self.memory_intensity,
+        )
+
+    @classmethod
+    def from_scenario_phase(
+        cls, phase: ScenarioPhase, duration_s: float
+    ) -> "DynamicPhase":
+        """A timed phase from an energy-scenario residency phase.
+
+        ``"active"`` phases keep their core count; every idle mode
+        (``"package_idle"``, ``"sleep"``, ``"off"``) becomes an idle gap at
+        the phase's package C-state (platform-clamped by the engine).
+        """
+        if phase.mode == "active":
+            return cls(
+                name=phase.name,
+                duration_s=duration_s,
+                active_cores=phase.active_cores,
+            )
+        cstate = phase.package_cstate if phase.mode == "package_idle" else "deepest"
+        return cls(
+            name=phase.name,
+            duration_s=duration_s,
+            active_cores=0,
+            package_cstate=cstate,
+        )
+
+
+@dataclass(frozen=True)
+class DynamicScenario:
+    """A declarative phase timeline the dynamics engine can step through.
+
+    Parameters
+    ----------
+    name:
+        Scenario name (keys study results).
+    phases:
+        The timeline, in order.
+    time_step_s:
+        Simulation step of the closed loop.
+    pl2_ratio:
+        Burst power limit as a multiple of the configuration's TDP
+        (PL1 is always the TDP itself).
+    turbo_tau_s:
+        EWMA window of the turbo power accounting.
+    thermal_capacitance_j_per_c:
+        Lumped thermal capacitance closing the thermal loop.
+    initial_temperature_c:
+        Junction temperature at t=0; ``None`` starts at the design ambient.
+    initial_average_power_w:
+        EWMA of package power at t=0 (0 == fully banked turbo budget).
+    rebank_fraction:
+        Once a sustained stretch exhausts the turbo budget, bursting is
+        re-enabled only after the moving average falls back below this
+        fraction of PL1 (normally during an idle gap).
+    """
+
+    kind: ClassVar[str] = "dynamic"
+
+    name: str
+    phases: Tuple[DynamicPhase, ...]
+    time_step_s: float = 0.1
+    pl2_ratio: float = 1.25
+    turbo_tau_s: float = 10.0
+    thermal_capacitance_j_per_c: float = 60.0
+    initial_temperature_c: Optional[float] = None
+    initial_average_power_w: float = 0.0
+    rebank_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be a non-empty string")
+        if not self.phases:
+            raise ConfigurationError("a dynamic scenario needs at least one phase")
+        ensure_positive(self.time_step_s, "time_step_s")
+        if self.pl2_ratio < 1.0:
+            raise ConfigurationError("pl2_ratio must be >= 1.0")
+        ensure_positive(self.turbo_tau_s, "turbo_tau_s")
+        ensure_positive(self.thermal_capacitance_j_per_c, "thermal_capacitance_j_per_c")
+        if self.initial_temperature_c is not None:
+            ensure_positive(self.initial_temperature_c, "initial_temperature_c")
+        if self.initial_average_power_w < 0:
+            raise ConfigurationError("initial_average_power_w must be >= 0")
+        ensure_in_range(self.rebank_fraction, 0.0, 1.0, "rebank_fraction")
+
+    @property
+    def duration_s(self) -> float:
+        """Total timeline duration."""
+        return sum(phase.duration_s for phase in self.phases)
+
+    def phase_names(self) -> List[str]:
+        """Names of the phases in order."""
+        return [phase.name for phase in self.phases]
+
+    # -- derivation --------------------------------------------------------------------
+
+    @classmethod
+    def from_energy_scenario(
+        cls,
+        scenario: EnergyScenario,
+        total_duration_s: float,
+        name: Optional[str] = None,
+        **overrides,
+    ) -> "DynamicScenario":
+        """Unroll an energy scenario's residency mix into a timed scenario.
+
+        Each :class:`~repro.workloads.descriptors.ScenarioPhase` becomes one
+        :class:`DynamicPhase` lasting its residency fraction of
+        *total_duration_s* (zero-fraction phases are dropped).
+        """
+        ensure_positive(total_duration_s, "total_duration_s")
+        phases = tuple(
+            DynamicPhase.from_scenario_phase(
+                phase, duration_s=phase.fraction * total_duration_s
+            )
+            for phase in scenario.phases
+            if phase.fraction > 0.0
+        )
+        return cls(name=name or scenario.name, phases=phases, **overrides)
+
+
+# -- scenario builders ------------------------------------------------------------------
+
+
+def sustained_scenario(
+    duration_s: float = 120.0,
+    active_cores: int = 4,
+    activity: float = 0.62,
+    memory_intensity: float = 0.2,
+    name: str = "sustained",
+    **overrides,
+) -> DynamicScenario:
+    """One long constant-demand stretch (the steady-state parity workload)."""
+    phase = DynamicPhase(
+        name="compute",
+        duration_s=duration_s,
+        active_cores=active_cores,
+        activity=activity,
+        memory_intensity=memory_intensity,
+    )
+    return DynamicScenario(name=name, phases=(phase,), **overrides)
+
+
+def burst_scenario(
+    idle_lead_s: float = 20.0,
+    burst_s: float = 100.0,
+    active_cores: int = 4,
+    activity: float = 0.62,
+    memory_intensity: float = 0.2,
+    name: str = "burst",
+    **overrides,
+) -> DynamicScenario:
+    """An idle lead (banking the turbo budget) followed by one long burst.
+
+    On a TDP-limited configuration the burst opens at the PL2-backed turbo
+    frequency and decays to the sustained frequency as the EWMA reaches PL1
+    — the paper's burst-then-throttle story.  On a high-TDP configuration
+    the same timeline stays Vmax-limited throughout.
+    """
+    phases = (
+        DynamicPhase(name="idle_lead", duration_s=idle_lead_s),
+        DynamicPhase(
+            name="burst",
+            duration_s=burst_s,
+            active_cores=active_cores,
+            activity=activity,
+            memory_intensity=memory_intensity,
+        ),
+    )
+    return DynamicScenario(name=name, phases=phases, **overrides)
+
+
+def sprint_and_rest_scenario(
+    sprint_s: float = 30.0,
+    rest_s: float = 30.0,
+    cycles: int = 3,
+    active_cores: int = 4,
+    activity: float = 0.62,
+    memory_intensity: float = 0.2,
+    name: str = "sprint_and_rest",
+    **overrides,
+) -> DynamicScenario:
+    """Alternating sprints and idle rests (the duty-cycled turbo workload).
+
+    Each rest lets the moving average decay and re-bank turbo budget, so a
+    TDP-limited part sprints above its sustained frequency at every cycle
+    start — the repeated-burst behaviour of bursty interactive workloads.
+    """
+    if cycles < 1:
+        raise ConfigurationError("cycles must be >= 1")
+    phases: List[DynamicPhase] = []
+    for cycle in range(cycles):
+        phases.append(
+            DynamicPhase(
+                name=f"sprint{cycle}",
+                duration_s=sprint_s,
+                active_cores=active_cores,
+                activity=activity,
+                memory_intensity=memory_intensity,
+            )
+        )
+        phases.append(DynamicPhase(name=f"rest{cycle}", duration_s=rest_s))
+    return DynamicScenario(name=name, phases=tuple(phases), **overrides)

@@ -1,0 +1,171 @@
+"""Golden-file regression tests for every ``run_fig*``/``run_table*`` experiment.
+
+Each experiment's structured result is serialised to a canonical JSON
+document and compared **byte-for-byte** against the snapshot under
+``tests/golden/``.  Any change to the physics, the firmware models, or the
+sweep plumbing that moves a reported number shows up as a diff here instead
+of silently shifting the reproduction.
+
+Regenerating the snapshots (after an *intentional* model change)::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_experiments.py --update-golden
+
+then review the diff of ``tests/golden/`` like any other code change.
+Generation is deterministic: the serialiser sorts keys, floats are written
+with ``repr`` precision, and the experiments themselves contain no
+randomness, so regeneration on an unchanged tree is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Callable, Dict
+
+import pytest
+
+from repro.analysis import experiments
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+# -- per-experiment serialisers --------------------------------------------------------
+
+
+def _fig3() -> Dict[str, Any]:
+    result = experiments.run_fig3_guardband_motivation()
+    return {
+        "tdp_levels_w": list(result.tdp_levels_w),
+        "improvements": result.improvements,
+    }
+
+
+def _fig4() -> Dict[str, Any]:
+    result = experiments.run_fig4_impedance_profiles()
+    def profile(p):
+        return {
+            "label": p.label,
+            "points": [
+                [point.frequency_hz, point.impedance_ohm.real, point.impedance_ohm.imag]
+                for point in p.points
+            ],
+        }
+    return {
+        "gated": profile(result.gated),
+        "bypassed": profile(result.bypassed),
+        "mean_impedance_ratio": result.mean_impedance_ratio,
+        "peak_impedance_ratio": result.peak_impedance_ratio,
+    }
+
+
+def _fig7() -> Dict[str, Any]:
+    result = experiments.run_fig7_spec_per_benchmark()
+    return {
+        "tdp_w": result.tdp_w,
+        "per_benchmark_improvement": result.per_benchmark_improvement,
+        "scalability_by_benchmark": result.scalability_by_benchmark,
+    }
+
+
+def _fig8() -> Dict[str, Any]:
+    result = experiments.run_fig8_spec_tdp_sweep()
+    return {
+        "tdp_levels_w": list(result.tdp_levels_w),
+        "base_improvements": result.base_improvements,
+        "rate_improvements": result.rate_improvements,
+    }
+
+
+def _fig9() -> Dict[str, Any]:
+    result = experiments.run_fig9_graphics_degradation()
+    return {
+        "tdp_levels_w": list(result.tdp_levels_w),
+        "average_degradation": result.average_degradation,
+    }
+
+
+def _fig10() -> Dict[str, Any]:
+    result = experiments.run_fig10_energy_efficiency()
+    return {
+        "reductions": {name: list(pair) for name, pair in result.reductions.items()},
+        "limit_compliance": {
+            # bool() strips the numpy bools the power comparison produces.
+            name: [bool(flag) for flag in flags]
+            for name, flags in result.limit_compliance.items()
+        },
+        "reference_power_w": result.reference_power_w,
+    }
+
+
+def _table1() -> Dict[str, Any]:
+    return {"rows": [list(row) for row in experiments.run_table1_package_cstates()]}
+
+
+def _table2() -> Dict[str, Any]:
+    desktop, mobile = experiments.run_table2_system_parameters()
+    def sku(description):
+        payload = asdict(description)
+        return {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in payload.items()
+        }
+    return {"desktop": sku(desktop), "mobile": sku(mobile)}
+
+
+def _sec42() -> Dict[str, Any]:
+    result = experiments.run_sec42_reliability_guardband()
+    return {
+        "high_tdp_guardband_v": result.high_tdp_guardband_v,
+        "low_tdp_guardband_v": result.low_tdp_guardband_v,
+    }
+
+
+EXPERIMENTS: Dict[str, Callable[[], Dict[str, Any]]] = {
+    "fig3_guardband_motivation": _fig3,
+    "fig4_impedance_profiles": _fig4,
+    "fig7_spec_per_benchmark": _fig7,
+    "fig8_spec_tdp_sweep": _fig8,
+    "fig9_graphics_degradation": _fig9,
+    "fig10_energy_efficiency": _fig10,
+    "table1_package_cstates": _table1,
+    "table2_system_parameters": _table2,
+    "sec42_reliability_guardband": _sec42,
+}
+
+
+def _render(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# -- the tests -------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_matches_golden_snapshot(name, request):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    rendered = _render(EXPERIMENTS[name]())
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(rendered)
+        return
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path.name}; regenerate with "
+        "pytest tests/test_golden_experiments.py --update-golden"
+    )
+    assert rendered == golden_path.read_text(), (
+        f"{name} drifted from its golden snapshot; if the change is "
+        "intentional, regenerate with --update-golden and review the diff"
+    )
+
+
+def test_golden_generation_is_deterministic():
+    """Two back-to-back runs of one experiment serialise identically."""
+    name = "fig7_spec_per_benchmark"
+    assert _render(EXPERIMENTS[name]()) == _render(EXPERIMENTS[name]())
+
+
+def test_golden_directory_has_no_orphan_snapshots():
+    """Every snapshot on disk corresponds to a registered experiment."""
+    snapshots = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert snapshots <= set(EXPERIMENTS)

@@ -1,28 +1,17 @@
-"""Unit tests for the PMU firmware substrate: V/F curves, DVFS, turbo, fuses."""
+"""Unit tests for the PMU firmware substrate: V/F curves, DVFS, turbo, fuses.
+
+System objects (processors, V/F curves, DVFS policies) come from the shared
+factory fixtures in ``conftest.py``.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.pdn.guardband import GuardbandModel
-from repro.pdn.loadline import default_virus_table
-from repro.pmu.dvfs import CpuDemand, DvfsPolicy, LimitingFactor
+from repro.pmu.dvfs import CpuDemand, LimitingFactor
 from repro.pmu.fuses import FuseSet, PowerDeliveryMode, firmware_area_overhead_fraction
 from repro.pmu.turbo import TurboTable
-from repro.pmu.vf_curve import VfCurve
-from repro.soc.skus import skylake_h_mobile, skylake_s_desktop
-
-
-def _vf_curve(bypassed: bool) -> VfCurve:
-    processor = skylake_s_desktop() if bypassed else skylake_h_mobile()
-    return VfCurve(
-        silicon=processor.die.vf_character,
-        guardband_model=GuardbandModel(processor.package.pdn),
-        virus_table=default_virus_table(processor.core_count),
-        frequency_grid=processor.die.core_frequency_grid,
-        vmax_v=processor.die.vmax_v,
-    )
 
 
 # -- fuses -------------------------------------------------------------------------------------
@@ -57,44 +46,44 @@ def test_firmware_area_overhead_below_paper_claim():
 # -- V/F curve ------------------------------------------------------------------------------------
 
 
-def test_vf_required_voltage_above_nominal():
-    curve = _vf_curve(bypassed=False)
+def test_vf_required_voltage_above_nominal(vf_curve):
+    curve = vf_curve(False)
     point = curve.point(3.5e9, active_cores=1)
     assert point.required_voltage_v > point.nominal_voltage_v
     assert point.guardband_v > 0
 
 
-def test_vf_guardband_grows_with_active_cores():
-    curve = _vf_curve(bypassed=False)
+def test_vf_guardband_grows_with_active_cores(vf_curve):
+    curve = vf_curve(False)
     assert curve.guardband_v(4) > curve.guardband_v(1)
 
 
-def test_vf_fmax_decreases_with_active_cores():
-    curve = _vf_curve(bypassed=False)
+def test_vf_fmax_decreases_with_active_cores(vf_curve):
+    curve = vf_curve(False)
     assert curve.fmax_hz(4) <= curve.fmax_hz(1)
 
 
-def test_vf_bypassed_fmax_higher_than_gated():
-    gated = _vf_curve(bypassed=False)
-    bypassed = _vf_curve(bypassed=True)
+def test_vf_bypassed_fmax_higher_than_gated(vf_curve):
+    gated = vf_curve(False)
+    bypassed = vf_curve(True)
     assert bypassed.fmax_hz(1) > gated.fmax_hz(1)
     assert bypassed.fmax_hz(4) > gated.fmax_hz(4)
 
 
-def test_vf_gated_single_core_fmax_near_datasheet():
+def test_vf_gated_single_core_fmax_near_datasheet(vf_curve):
     # The baseline part's Vmax-limited single-core turbo should land near the
     # i7-6700K's 4.2 GHz datasheet value.
-    gated = _vf_curve(bypassed=False)
+    gated = vf_curve(False)
     assert 3.8e9 <= gated.fmax_hz(1) <= 4.4e9
 
 
-def test_vf_fmax_is_on_grid():
-    curve = _vf_curve(bypassed=True)
+def test_vf_fmax_is_on_grid(vf_curve):
+    curve = vf_curve(True)
     assert curve.frequency_grid.contains(curve.fmax_hz(1))
 
 
-def test_vf_power_voltage_between_nominal_and_required():
-    curve = _vf_curve(bypassed=False)
+def test_vf_power_voltage_between_nominal_and_required(vf_curve):
+    curve = vf_curve(False)
     frequency = 3.0e9
     nominal = curve.point(frequency, 1).nominal_voltage_v
     required = curve.required_voltage_v(frequency, 1)
@@ -102,20 +91,20 @@ def test_vf_power_voltage_between_nominal_and_required():
     assert nominal < power_voltage <= required
 
 
-def test_vf_headroom_sign():
-    curve = _vf_curve(bypassed=False)
+def test_vf_headroom_sign(vf_curve):
+    curve = vf_curve(False)
     assert curve.headroom_v(1.0e9, 1) > 0
     assert curve.headroom_v(5.0e9, 4) < 0
 
 
-def test_vf_curve_points_cover_grid():
-    curve = _vf_curve(bypassed=True)
+def test_vf_curve_points_cover_grid(vf_curve):
+    curve = vf_curve(True)
     points = curve.curve_points(1)
     assert len(points) == len(curve.frequency_grid)
 
 
-def test_vf_fmax_collapses_when_guardband_exceeds_vmax():
-    curve = _vf_curve(bypassed=False)
+def test_vf_fmax_collapses_when_guardband_exceeds_vmax(vf_curve):
+    curve = vf_curve(False)
     assert curve.fmax_hz(1, vmax_v=0.1) == pytest.approx(curve.frequency_grid.min_hz)
 
 
@@ -129,78 +118,64 @@ def test_dvfs_demand_validation():
         CpuDemand(active_cores=1, activity=1.5)
 
 
-def test_dvfs_rejects_more_cores_than_processor():
-    processor = skylake_h_mobile()
-    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+def test_dvfs_rejects_more_cores_than_processor(dvfs_policy):
     with pytest.raises(ConfigurationError):
-        policy.resolve(CpuDemand(active_cores=8))
+        dvfs_policy(91.0, False).resolve(CpuDemand(active_cores=8))
 
 
-def test_dvfs_single_core_at_high_tdp_is_vmax_or_grid_limited():
-    processor = skylake_h_mobile(91.0)
-    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
-    point = policy.resolve(CpuDemand(active_cores=1, activity=0.65))
+def test_dvfs_single_core_at_high_tdp_is_vmax_or_grid_limited(dvfs_policy):
+    point = dvfs_policy(91.0, False).resolve(CpuDemand(active_cores=1, activity=0.65))
     assert point.limiting_factor in (LimitingFactor.VMAX, LimitingFactor.FREQUENCY_GRID)
     assert point.package_power_w < 91.0
 
 
-def test_dvfs_all_cores_at_low_tdp_is_tdp_limited():
-    processor = skylake_h_mobile(35.0)
-    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
-    point = policy.resolve(CpuDemand(active_cores=4, activity=0.65))
+def test_dvfs_all_cores_at_low_tdp_is_tdp_limited(dvfs_policy):
+    point = dvfs_policy(35.0, False).resolve(CpuDemand(active_cores=4, activity=0.65))
     assert point.limiting_factor is LimitingFactor.TDP
     assert point.package_power_w <= 35.0 + 1e-6
 
 
-def test_dvfs_frequency_monotonic_in_tdp():
-    frequencies = []
-    for tdp in (35.0, 65.0, 91.0):
-        processor = skylake_h_mobile(tdp)
-        policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
-        point = policy.resolve(CpuDemand(active_cores=4, activity=0.65))
-        frequencies.append(point.frequency_hz)
+def test_dvfs_frequency_monotonic_in_tdp(dvfs_policy):
+    frequencies = [
+        dvfs_policy(tdp, False)
+        .resolve(CpuDemand(active_cores=4, activity=0.65))
+        .frequency_hz
+        for tdp in (35.0, 65.0, 91.0)
+    ]
     assert frequencies == sorted(frequencies)
 
 
-def test_dvfs_lighter_workload_runs_at_least_as_fast():
-    processor = skylake_h_mobile(45.0)
-    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+def test_dvfs_lighter_workload_runs_at_least_as_fast(dvfs_policy):
+    policy = dvfs_policy(45.0, False)
     heavy = policy.resolve(CpuDemand(active_cores=4, activity=0.8))
     light = policy.resolve(CpuDemand(active_cores=4, activity=0.45))
     assert light.frequency_hz >= heavy.frequency_hz
 
 
-def test_dvfs_reported_voltage_respects_vmax():
-    processor = skylake_h_mobile(91.0)
-    curve = _vf_curve(False)
-    policy = DvfsPolicy(processor, curve, bypass_mode=False)
-    point = policy.resolve(CpuDemand(active_cores=1, activity=0.65))
-    assert point.voltage_v <= curve.vmax_v + 1e-9
+def test_dvfs_reported_voltage_respects_vmax(dvfs_policy, vf_curve):
+    point = dvfs_policy(91.0, False).resolve(CpuDemand(active_cores=1, activity=0.65))
+    assert point.voltage_v <= vf_curve(False).vmax_v + 1e-9
 
 
-def test_dvfs_power_breakdown_sums_to_package_power():
-    processor = skylake_s_desktop(65.0)
-    policy = DvfsPolicy(processor, _vf_curve(True), bypass_mode=True)
-    point = policy.resolve(CpuDemand(active_cores=2, activity=0.6))
+def test_dvfs_power_breakdown_sums_to_package_power(dvfs_policy):
+    point = dvfs_policy(65.0, True).resolve(CpuDemand(active_cores=2, activity=0.6))
     reconstructed = (
         point.cores_power_w + point.idle_cores_power_w + point.uncore_power_w
     )
     assert point.package_power_w == pytest.approx(reconstructed + 0.05, abs=0.01)
 
 
-def test_dvfs_bypass_mode_has_idle_core_power():
-    curve = _vf_curve(True)
-    policy = DvfsPolicy(skylake_s_desktop(91.0), curve, bypass_mode=True)
-    point = policy.resolve(CpuDemand(active_cores=1, activity=0.65))
+def test_dvfs_bypass_mode_has_idle_core_power(dvfs_policy):
+    point = dvfs_policy(91.0, True).resolve(CpuDemand(active_cores=1, activity=0.65))
     assert point.idle_cores_power_w > 0.1
-    gated_policy = DvfsPolicy(skylake_h_mobile(91.0), _vf_curve(False), bypass_mode=False)
-    gated_point = gated_policy.resolve(CpuDemand(active_cores=1, activity=0.65))
+    gated_point = dvfs_policy(91.0, False).resolve(
+        CpuDemand(active_cores=1, activity=0.65)
+    )
     assert gated_point.idle_cores_power_w < 0.1
 
 
-def test_dvfs_package_power_helper_matches_resolution():
-    processor = skylake_h_mobile(45.0)
-    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
+def test_dvfs_package_power_helper_matches_resolution(dvfs_policy):
+    policy = dvfs_policy(45.0, False)
     demand = CpuDemand(active_cores=4, activity=0.65)
     point = policy.resolve(demand)
     assert policy.package_power_w(point.frequency_hz, demand) == pytest.approx(
@@ -208,19 +183,57 @@ def test_dvfs_package_power_helper_matches_resolution():
     )
 
 
-def test_dvfs_junction_temperature_below_tjmax():
-    processor = skylake_h_mobile(35.0)
-    policy = DvfsPolicy(processor, _vf_curve(False), bypass_mode=False)
-    point = policy.resolve(CpuDemand(active_cores=4, activity=0.8))
-    assert point.junction_temperature_c <= processor.tjmax_c + 1e-6
+def test_dvfs_junction_temperature_below_tjmax(dvfs_policy, mobile_processor):
+    point = dvfs_policy(35.0, False).resolve(CpuDemand(active_cores=4, activity=0.8))
+    assert point.junction_temperature_c <= mobile_processor(35.0).tjmax_c + 1e-6
+
+
+# -- candidate tables (closed-loop resolution) ----------------------------------------------------
+
+
+def test_candidate_table_matches_static_power_arithmetic(dvfs_policy):
+    policy = dvfs_policy(45.0, False)
+    demand = CpuDemand(active_cores=4, activity=0.65)
+    point = policy.resolve(demand)
+    at_static = policy.resolve_at(
+        demand,
+        temperature_c=point.junction_temperature_c,
+        power_limit_w=45.0,
+    )
+    assert at_static.frequency_hz == pytest.approx(point.frequency_hz, abs=1e-3)
+    # The static resolver reports the power of its penultimate thermal
+    # iterate, so the pinned-temperature power agrees only to the fixed
+    # point's convergence tolerance.
+    assert at_static.package_power_w == pytest.approx(point.package_power_w, rel=1e-3)
+
+
+def test_candidate_table_power_grows_with_temperature(dvfs_policy):
+    table = dvfs_policy(45.0, True).candidate_table(CpuDemand(active_cores=2))
+    cool = table.package_power_w(50.0)
+    hot = table.package_power_w(90.0)
+    assert (hot > cool).all()
+
+
+def test_resolve_at_frequency_monotonic_in_power_limit(dvfs_policy):
+    policy = dvfs_policy(35.0, False)
+    demand = CpuDemand(active_cores=4, activity=0.65)
+    frequencies = [
+        policy.resolve_at(demand, temperature_c=60.0, power_limit_w=limit).frequency_hz
+        for limit in (15.0, 25.0, 35.0, 60.0)
+    ]
+    assert frequencies == sorted(frequencies)
+
+
+def test_resolve_at_rejects_oversized_demand(dvfs_policy):
+    with pytest.raises(ConfigurationError):
+        dvfs_policy(91.0, False).candidate_table(CpuDemand(active_cores=8))
 
 
 # -- turbo table ------------------------------------------------------------------------------------
 
 
-def test_turbo_table_from_vf_curve_monotonic():
-    curve = _vf_curve(False)
-    table = TurboTable.from_vf_curve(curve, core_count=4)
+def test_turbo_table_from_vf_curve_monotonic(vf_curve):
+    table = TurboTable.from_vf_curve(vf_curve(False), core_count=4)
     rows = table.rows()
     frequencies = [f for _, f in rows]
     assert frequencies == sorted(frequencies, reverse=True)

@@ -57,34 +57,35 @@ def test_c8_description_mentions_core_vr_off():
 # -- package C-state power model -----------------------------------------------------------------
 
 
-def _models():
-    darkgates = PackageCStateModel(skylake_s_desktop(), bypass_mode=True)
-    baseline = PackageCStateModel(skylake_h_mobile(), bypass_mode=False)
+@pytest.fixture(scope="module")
+def cstate_models(desktop_processor, mobile_processor):
+    darkgates = PackageCStateModel(desktop_processor(91.0), bypass_mode=True)
+    baseline = PackageCStateModel(mobile_processor(91.0), bypass_mode=False)
     return darkgates, baseline
 
 
-def test_c7_power_over_three_times_higher_with_bypass():
+def test_c7_power_over_three_times_higher_with_bypass(cstate_models):
     # Section 4.3: package C7 power is more than 3x higher in DarkGates.
-    darkgates, baseline = _models()
+    darkgates, baseline = cstate_models
     ratio = darkgates.power_ratio_to(baseline, PackageCState.C7)
     assert ratio > 3.0
 
 
-def test_c8_power_equal_between_configurations():
+def test_c8_power_equal_between_configurations(cstate_models):
     # With the core VR off, bypassing no longer matters.
-    darkgates, baseline = _models()
+    darkgates, baseline = cstate_models
     assert darkgates.power_w(PackageCState.C8) == pytest.approx(
         baseline.power_w(PackageCState.C8)
     )
 
 
-def test_darkgates_c8_much_lower_than_darkgates_c7():
-    darkgates, _ = _models()
+def test_darkgates_c8_much_lower_than_darkgates_c7(cstate_models):
+    darkgates, _ = cstate_models
     assert darkgates.power_w(PackageCState.C8) < 0.5 * darkgates.power_w(PackageCState.C7)
 
 
-def test_cstate_power_decreases_with_depth_per_configuration():
-    for model in _models():
+def test_cstate_power_decreases_with_depth_per_configuration(cstate_models):
+    for model in cstate_models:
         powers = [
             model.power_w(state)
             for state in (PackageCState.C2, PackageCState.C3, PackageCState.C6, PackageCState.C7)
@@ -92,8 +93,8 @@ def test_cstate_power_decreases_with_depth_per_configuration():
         assert all(a >= b for a, b in zip(powers, powers[1:]))
 
 
-def test_cstate_breakdown_sums_to_total():
-    darkgates, _ = _models()
+def test_cstate_breakdown_sums_to_total(cstate_models):
+    darkgates, _ = cstate_models
     breakdown = darkgates.breakdown(PackageCState.C7)
     assert breakdown.total_w == pytest.approx(
         breakdown.cores_leakage_w
@@ -103,20 +104,20 @@ def test_cstate_breakdown_sums_to_total():
     )
 
 
-def test_cstate_c0_is_not_an_idle_state():
-    darkgates, _ = _models()
+def test_cstate_c0_is_not_an_idle_state(cstate_models):
+    darkgates, _ = cstate_models
     with pytest.raises(ConfigurationError):
         darkgates.power_w(PackageCState.C0)
 
 
-def test_cstate_idle_states_enumeration():
-    darkgates, _ = _models()
+def test_cstate_idle_states_enumeration(cstate_models):
+    darkgates, _ = cstate_models
     assert PackageCState.C0 not in darkgates.idle_states()
     assert PackageCState.C8 in darkgates.idle_states()
 
 
-def test_cstate_core_leakage_zero_when_vr_off():
-    darkgates, _ = _models()
+def test_cstate_core_leakage_zero_when_vr_off(cstate_models):
+    darkgates, _ = cstate_models
     assert darkgates.breakdown(PackageCState.C8).cores_leakage_w == 0.0
     assert darkgates.breakdown(PackageCState.C7).cores_leakage_w > 0.3
 
@@ -124,8 +125,8 @@ def test_cstate_core_leakage_zero_when_vr_off():
 # -- power budget manager -------------------------------------------------------------------------
 
 
-def test_pbm_budget_split_accounts_for_all_domains():
-    pcode = Pcode(skylake_s_desktop(45.0), FuseSet.darkgates_desktop())
+def test_pbm_budget_split_accounts_for_all_domains(darkgates_pcode):
+    pcode = darkgates_pcode(45.0)
     point = pcode.resolve_graphics_operating_point(GraphicsDemand())
     assert point.package_power_w == pytest.approx(
         point.cpu_power_w
@@ -136,9 +137,9 @@ def test_pbm_budget_split_accounts_for_all_domains():
     assert point.package_power_w <= 45.0 + 1e-6
 
 
-def test_pbm_graphics_frequency_higher_at_higher_tdp():
-    low = Pcode(skylake_h_mobile(35.0), FuseSet.legacy_desktop())
-    high = Pcode(skylake_h_mobile(91.0), FuseSet.legacy_desktop())
+def test_pbm_graphics_frequency_higher_at_higher_tdp(baseline_pcode):
+    low = baseline_pcode(35.0)
+    high = baseline_pcode(91.0)
     demand = GraphicsDemand()
     assert (
         high.resolve_graphics_operating_point(demand).graphics_frequency_hz
@@ -146,9 +147,9 @@ def test_pbm_graphics_frequency_higher_at_higher_tdp():
     )
 
 
-def test_pbm_bypass_mode_has_idle_core_leakage():
-    darkgates = Pcode(skylake_s_desktop(35.0), FuseSet.darkgates_desktop())
-    baseline = Pcode(skylake_h_mobile(35.0), FuseSet.legacy_desktop())
+def test_pbm_bypass_mode_has_idle_core_leakage(darkgates_pcode, baseline_pcode):
+    darkgates = darkgates_pcode(35.0)
+    baseline = baseline_pcode(35.0)
     demand = GraphicsDemand()
     dg_point = darkgates.resolve_graphics_operating_point(demand)
     base_point = baseline.resolve_graphics_operating_point(demand)
@@ -156,9 +157,9 @@ def test_pbm_bypass_mode_has_idle_core_leakage():
     assert dg_point.graphics_budget_w < base_point.graphics_budget_w
 
 
-def test_pbm_graphics_budget_not_binding_at_high_tdp():
-    darkgates = Pcode(skylake_s_desktop(91.0), FuseSet.darkgates_desktop())
-    baseline = Pcode(skylake_h_mobile(91.0), FuseSet.legacy_desktop())
+def test_pbm_graphics_budget_not_binding_at_high_tdp(darkgates_pcode, baseline_pcode):
+    darkgates = darkgates_pcode(91.0)
+    baseline = baseline_pcode(91.0)
     demand = GraphicsDemand()
     assert (
         darkgates.resolve_graphics_operating_point(demand).graphics_frequency_hz
@@ -166,8 +167,8 @@ def test_pbm_graphics_budget_not_binding_at_high_tdp():
     )
 
 
-def test_pbm_rejects_too_many_driver_cores():
-    pcode = Pcode(skylake_s_desktop(45.0), FuseSet.darkgates_desktop())
+def test_pbm_rejects_too_many_driver_cores(darkgates_pcode):
+    pcode = darkgates_pcode(45.0)
     with pytest.raises(ConfigurationError):
         pcode.resolve_graphics_operating_point(GraphicsDemand(driver_cores=9))
 
@@ -189,21 +190,21 @@ def test_pcode_rejects_mismatched_fuses_and_package():
         Pcode(skylake_s_desktop(), FuseSet.legacy_desktop())
 
 
-def test_pcode_deepest_cstate_follows_fuses():
-    darkgates = Pcode(skylake_s_desktop(), FuseSet.darkgates_desktop())
-    baseline = Pcode(skylake_h_mobile(), FuseSet.legacy_desktop())
+def test_pcode_deepest_cstate_follows_fuses(darkgates_pcode, baseline_pcode):
+    darkgates = darkgates_pcode(91.0)
+    baseline = baseline_pcode(91.0)
     assert darkgates.deepest_package_cstate() is PackageCState.C8
     assert baseline.deepest_package_cstate() is PackageCState.C7
 
 
-def test_pcode_refuses_deeper_than_supported_cstate():
-    baseline = Pcode(skylake_h_mobile(), FuseSet.legacy_desktop())
+def test_pcode_refuses_deeper_than_supported_cstate(baseline_pcode):
+    baseline = baseline_pcode(91.0)
     with pytest.raises(ConfigurationError):
         baseline.package_idle_power_w(PackageCState.C8)
 
 
-def test_pcode_idle_power_defaults_to_deepest():
-    darkgates = Pcode(skylake_s_desktop(), FuseSet.darkgates_desktop())
+def test_pcode_idle_power_defaults_to_deepest(darkgates_pcode):
+    darkgates = darkgates_pcode(91.0)
     assert darkgates.package_idle_power_w() == pytest.approx(
         darkgates.package_idle_power_w(PackageCState.C8)
     )
@@ -275,8 +276,8 @@ def test_fuse_set_rejects_bad_cstate_with_valid_names():
 # -- wake rail voltage --------------------------------------------------------------------------
 
 
-def test_wake_rail_voltage_is_the_min_frequency_voltage():
-    pcode = Pcode(skylake_s_desktop(91.0), FuseSet.darkgates_desktop())
+def test_wake_rail_voltage_is_the_min_frequency_voltage(darkgates_pcode):
+    pcode = darkgates_pcode(91.0)
     grid = pcode.processor.die.core_frequency_grid
     expected = pcode.vf_curve.required_voltage_v(grid.min_hz, 1)
     assert pcode.wake_rail_voltage_v() == pytest.approx(expected)

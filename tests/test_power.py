@@ -183,11 +183,21 @@ def test_budget_over_allocation_raises():
         budget.allocate("graphics", 10.0)
 
 
-def test_budget_duplicate_domain_raises():
+def test_budget_duplicate_domain_raises_constraint_violation():
     budget = PowerBudget(total_w=35.0)
     budget.allocate("cores", 10.0)
-    with pytest.raises(ConfigurationError):
+    with pytest.raises(ConstraintViolation):
         budget.allocate("cores", 5.0)
+    # The first allocation must survive the rejected re-allocation attempt.
+    assert budget.allocation_for("cores") == pytest.approx(10.0)
+
+
+def test_budget_remainder_duplicate_domain_raises_constraint_violation():
+    budget = PowerBudget(total_w=35.0)
+    budget.allocate("cores", 10.0)
+    with pytest.raises(ConstraintViolation):
+        budget.allocate_remainder("cores")
+    assert budget.allocation_for("cores") == pytest.approx(10.0)
 
 
 def test_budget_queries():

@@ -11,6 +11,8 @@ from repro.common.grid import FrequencyGrid
 from repro.common.units import MHZ
 from repro.pdn.elements import Capacitor, Inductor, Resistor
 from repro.pdn.loadline import LoadLine
+from repro.pdn.transients import LoadTrace
+from repro.pmu.dvfs import CpuDemand
 from repro.power.dynamic import DynamicPowerModel
 from repro.power.leakage import LeakagePowerModel
 from repro.power.thermal import ThermalLimits, ThermalModel
@@ -183,3 +185,125 @@ def test_workload_performance_is_finite_and_positive(scalability):
         value = workload.relative_performance(frequency)
         assert math.isfinite(value)
         assert value > 0.0
+
+
+# -- load-trace composition algebra -----------------------------------------------------------------
+
+
+@st.composite
+def load_traces(draw, name: str = "prop"):
+    count = draw(st.integers(min_value=2, max_value=6))
+    deltas = draw(
+        st.lists(
+            st.floats(min_value=1e-9, max_value=1e-6),
+            min_size=count - 1,
+            max_size=count - 1,
+        )
+    )
+    currents = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0), min_size=count, max_size=count
+        )
+    )
+    times = [0.0]
+    for delta in deltas:
+        times.append(times[-1] + delta)
+    return LoadTrace(name=name, times_s=tuple(times), currents_a=tuple(currents))
+
+
+@given(a=load_traces(), b=load_traces())
+@settings(max_examples=50)
+def test_trace_then_concatenates_durations(a, b):
+    combined = a.then(b)
+    assert combined.duration_s == pytest.approx(a.duration_s + b.duration_s)
+    assert combined.initial_current_a == a.initial_current_a
+    assert combined.final_current_a == b.final_current_a
+
+
+@given(a=load_traces(name="a"), b=load_traces(name="b"))
+@settings(max_examples=50)
+def test_trace_overlay_is_commutative(a, b):
+    ab = a.overlay(b)
+    ba = b.overlay(a)
+    assert ab.times_s == ba.times_s
+    assert ab.currents_a == ba.currents_a
+
+
+@given(a=load_traces(), delay=st.floats(min_value=1e-9, max_value=1e-6))
+@settings(max_examples=50)
+def test_trace_shift_preserves_waveform(a, delay):
+    shifted = a.shifted(delay)
+    assert shifted.duration_s == pytest.approx(a.duration_s + delay)
+    for time, current in zip(a.times_s, a.currents_a):
+        assert shifted.current_a(time + delay) == pytest.approx(current)
+    # The lead-in holds the initial current.
+    assert shifted.current_a(0.0) == pytest.approx(a.initial_current_a)
+
+
+@given(a=load_traces(), factor=st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=50)
+def test_trace_scaling_identities(a, factor):
+    scaled = a.scaled(factor)
+    assert scaled.times_s == a.times_s
+    assert scaled.peak_current_a == pytest.approx(factor * a.peak_current_a)
+    assert a.scaled(1.0) == a
+
+
+@given(a=load_traces())
+@settings(max_examples=50)
+def test_trace_repeated_once_is_identity(a):
+    repeated = a.repeated(1)
+    assert repeated.times_s == a.times_s
+    assert repeated.currents_a == a.currents_a
+
+
+@given(a=load_traces(), b=load_traces())
+@settings(max_examples=50)
+def test_trace_hashability_consistent_with_equality(a, b):
+    clone = LoadTrace(name=a.name, times_s=a.times_s, currents_a=a.currents_a)
+    assert clone == a
+    assert hash(clone) == hash(a)
+    if a == b:
+        assert hash(a) == hash(b)
+
+
+# -- DVFS monotonicity ------------------------------------------------------------------------------
+#
+# The policies come from the shared session factories in conftest.py, so
+# hypothesis re-runs resolve against cached systems.
+
+_TDP_LEVELS = (25.0, 35.0, 45.0, 65.0, 80.0, 91.0)
+
+
+@given(
+    tdp=st.sampled_from(_TDP_LEVELS),
+    activity=st.sampled_from((0.45, 0.62, 0.8)),
+    bypassed=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_dvfs_frequency_non_increasing_in_active_cores(
+    dvfs_policy, tdp, activity, bypassed
+):
+    policy = dvfs_policy(tdp, bypassed)
+    frequencies = [
+        policy.resolve(
+            CpuDemand(active_cores=cores, activity=activity)
+        ).frequency_hz
+        for cores in (1, 2, 3, 4)
+    ]
+    assert all(b <= a + 1e-6 for a, b in zip(frequencies, frequencies[1:]))
+
+
+@given(
+    cores=st.integers(min_value=1, max_value=4),
+    activity=st.sampled_from((0.45, 0.62, 0.8)),
+    bypassed=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_dvfs_frequency_non_decreasing_in_tdp(dvfs_policy, cores, activity, bypassed):
+    demand = CpuDemand(active_cores=cores, activity=activity)
+    frequencies = [
+        dvfs_policy(tdp, bypassed).resolve(demand).frequency_hz
+        for tdp in _TDP_LEVELS
+    ]
+    assert all(b >= a - 1e-6 for a, b in zip(frequencies, frequencies[1:]))

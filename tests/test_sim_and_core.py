@@ -7,7 +7,6 @@ import pytest
 from repro.common.errors import ConfigurationError
 from repro.core.darkgates import (
     SystemComparison,
-    baseline_system,
     darkgates_c7_limited_system,
     darkgates_system,
 )
@@ -73,17 +72,19 @@ def test_engine_rejects_oversized_workload(darkgates_91w):
         engine.run_cpu_workload(spec_benchmark("416.gamess", active_cores=16))
 
 
-def test_engine_memory_bound_workload_insensitive_to_config():
+def test_engine_memory_bound_workload_insensitive_to_config(darkgates_91w, baseline_91w):
     workload = spec_benchmark("410.bwaves")
-    darkgates_result = SimulationEngine(darkgates_system(91.0)).run_cpu_workload(workload)
-    baseline_result = SimulationEngine(baseline_system(91.0)).run_cpu_workload(workload)
+    darkgates_result = SimulationEngine(darkgates_91w).run_cpu_workload(workload)
+    baseline_result = SimulationEngine(baseline_91w).run_cpu_workload(workload)
     assert darkgates_result.improvement_over(baseline_result) < 0.02
 
 
-def test_engine_compute_bound_workload_benefits_from_darkgates():
+def test_engine_compute_bound_workload_benefits_from_darkgates(
+    darkgates_91w, baseline_91w
+):
     workload = spec_benchmark("444.namd")
-    darkgates_result = SimulationEngine(darkgates_system(91.0)).run_cpu_workload(workload)
-    baseline_result = SimulationEngine(baseline_system(91.0)).run_cpu_workload(workload)
+    darkgates_result = SimulationEngine(darkgates_91w).run_cpu_workload(workload)
+    baseline_result = SimulationEngine(baseline_91w).run_cpu_workload(workload)
     assert darkgates_result.improvement_over(baseline_result) > 0.03
 
 
