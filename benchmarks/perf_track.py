@@ -1,0 +1,209 @@
+"""Performance tracking: merge benchmark artifacts and guard the trajectory.
+
+Every benchmark harness writes a JSON timing artifact to
+``benchmarks/output/`` (``droop_benchmark.json``,
+``dynamics_benchmark.json``).  This script merges them into one
+``bench_summary.json`` — stamped with the commit SHA and a UTC timestamp so
+CI can archive the perf trajectory across PRs — and compares each
+benchmark's headline speedup against the numbers committed in
+``benchmarks/baseline.json``, failing when a fast path regresses by more
+than the allowed factor (2x by default).
+
+Usage::
+
+    # after running the benchmark harnesses:
+    python benchmarks/perf_track.py                   # merge + regression check
+    python benchmarks/perf_track.py --update-baseline # accept current numbers
+
+Updating the baseline is an explicit, reviewed act (like regenerating the
+golden test snapshots): run the harnesses on a quiet machine, pass
+``--update-baseline``, and commit the ``benchmarks/baseline.json`` diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+BENCH_DIR = Path(__file__).parent
+DEFAULT_OUTPUT_DIR = BENCH_DIR / "output"
+DEFAULT_BASELINE = BENCH_DIR / "baseline.json"
+DEFAULT_SUMMARY = DEFAULT_OUTPUT_DIR / "bench_summary.json"
+
+#: A benchmark fails the gate when its speedup drops below
+#: ``baseline / MAX_REGRESSION_FACTOR``.
+MAX_REGRESSION_FACTOR = 2.0
+
+
+def benchmark_name(path: Path) -> str:
+    """Artifact file name -> benchmark key (``droop_benchmark`` -> ``droop``)."""
+    stem = path.stem
+    suffix = "_benchmark"
+    return stem[: -len(suffix)] if stem.endswith(suffix) else stem
+
+
+def headline_speedup(payload: Dict) -> Optional[float]:
+    """The artifact's headline speedup: its first ``speedup*`` key."""
+    for key in sorted(payload):
+        if key.startswith("speedup"):
+            return float(payload[key])
+    return None
+
+
+def load_artifacts(output_dir: Path) -> Dict[str, Dict]:
+    """Benchmark key -> artifact payload for every timing JSON in *output_dir*."""
+    artifacts: Dict[str, Dict] = {}
+    for path in sorted(output_dir.glob("*.json")):
+        if path.name == DEFAULT_SUMMARY.name:
+            continue
+        artifacts[benchmark_name(path)] = json.loads(path.read_text())
+    return artifacts
+
+
+def commit_sha() -> str:
+    """The commit under test: ``GITHUB_SHA`` in CI, ``git rev-parse`` locally."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=BENCH_DIR,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def build_summary(
+    artifacts: Dict[str, Dict], commit: str, generated_at: str
+) -> Dict:
+    """One merged, commit-stamped payload for the whole benchmark suite."""
+    return {
+        "commit": commit,
+        "generated_at": generated_at,
+        "benchmarks": {
+            name: {
+                "speedup": headline_speedup(payload),
+                "artifact": payload,
+            }
+            for name, payload in artifacts.items()
+        },
+    }
+
+
+def check_regressions(
+    summary: Dict,
+    baseline: Dict[str, Dict],
+    max_regression_factor: float = MAX_REGRESSION_FACTOR,
+) -> List[str]:
+    """Failure messages for every benchmark breaking its baseline gate."""
+    failures: List[str] = []
+    benchmarks = summary["benchmarks"]
+    # Every artifact must be gated: a harness whose benchmark has no
+    # baseline entry would otherwise pass green forever, regressions
+    # included (mirror of the missing-artifact check below).
+    for name in sorted(set(benchmarks) - set(baseline)):
+        failures.append(
+            f"{name}: artifact has no baseline entry, so it is not gated; "
+            f"add it with --update-baseline"
+        )
+    for name, expected in sorted(baseline.items()):
+        entry = benchmarks.get(name)
+        if entry is None:
+            failures.append(
+                f"{name}: baseline expects this benchmark but no artifact was "
+                f"produced (did its harness run?)"
+            )
+            continue
+        speedup = entry["speedup"]
+        floor = expected["speedup"] / max_regression_factor
+        if speedup is None:
+            failures.append(f"{name}: artifact carries no speedup metric")
+        elif speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.1f}x regressed more than "
+                f"{max_regression_factor:.0f}x below the baseline "
+                f"{expected['speedup']:.1f}x (floor {floor:.1f}x)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=DEFAULT_OUTPUT_DIR,
+        help="directory holding the per-benchmark timing artifacts",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_SUMMARY,
+        help="where to write the merged bench_summary.json",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline speedups to gate against",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current artifacts instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    artifacts = load_artifacts(args.output_dir)
+    if not artifacts:
+        print(f"no benchmark artifacts under {args.output_dir}", file=sys.stderr)
+        return 2
+    summary = build_summary(
+        artifacts,
+        commit=commit_sha(),
+        generated_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(summary, indent=2) + "\n")
+    for name, entry in sorted(summary["benchmarks"].items()):
+        speedup = entry["speedup"]
+        rendered = f"{speedup:.1f}x" if speedup is not None else "-"
+        print(f"{name:>12}: {rendered}")
+    print(f"summary: {args.output}")
+
+    if args.update_baseline:
+        baseline = {
+            name: {"speedup": entry["speedup"]}
+            for name, entry in sorted(summary["benchmarks"].items())
+            if entry["speedup"] is not None
+        }
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; create one with --update-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    failures = check_regressions(summary, json.loads(args.baseline.read_text()))
+    for failure in failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    if not failures:
+        print("no perf regressions vs baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,19 +12,19 @@
 """
 
 from repro.analysis.experiments import (
+    Fig10Result,
     Fig3Result,
     Fig4Result,
     Fig7Result,
     Fig8Result,
     Fig9Result,
-    Fig10Result,
     ReliabilityResult,
+    run_fig10_energy_efficiency,
     run_fig3_guardband_motivation,
     run_fig4_impedance_profiles,
     run_fig7_spec_per_benchmark,
     run_fig8_spec_tdp_sweep,
     run_fig9_graphics_degradation,
-    run_fig10_energy_efficiency,
     run_sec42_reliability_guardband,
     run_table1_package_cstates,
     run_table2_system_parameters,

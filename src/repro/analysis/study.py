@@ -5,6 +5,9 @@ via :meth:`Study.over_tdp_levels`, x TDP levels) — and executes every cell
 through a pluggable executor:
 
 * :class:`SerialExecutor` runs cells in the calling process (default);
+* :class:`BatchedExecutor` locksteps dynamic-scenario cells through the
+  vectorized batched dynamics engine (default for
+  :meth:`Study.over_dynamics`), running everything else serially;
 * :class:`ProcessExecutor` fans cells out over a
   :mod:`concurrent.futures` process pool.
 
@@ -111,6 +114,46 @@ class SerialExecutor:
         return [execute_task(task) for task in tasks]
 
 
+class BatchedExecutor:
+    """Locksteps every dynamic-scenario cell through the batched fast path.
+
+    Dynamic-scenario engine tasks — the slowest cells of a study grid, each
+    a per-step closed-loop trajectory — are collected into one
+    :class:`~repro.sim.dynamics.BatchedDynamicsSimulator` batch and stepped
+    together as numpy arrays; every other task falls back to in-process
+    serial execution.  This is the default executor of
+    :meth:`Study.over_dynamics`, and produces results identical to the
+    serial (per-run) executor.
+    """
+
+    def __init__(self) -> None:
+        from repro.sim.dynamics import BatchedDynamicsSimulator
+
+        self._batch = BatchedDynamicsSimulator()
+
+    def run_tasks(self, tasks: Sequence[StudyTask]) -> List[Any]:
+        """Execute *tasks*, batching the dynamic cells, preserving order."""
+        from repro.workloads.dynamics import DynamicScenario
+
+        results: List[Any] = [None] * len(tasks)
+        dynamic: List[int] = []
+        for position, task in enumerate(tasks):
+            if isinstance(task, EngineTask) and isinstance(
+                task.workload, DynamicScenario
+            ):
+                dynamic.append(position)
+            else:
+                results[position] = execute_task(task)
+        if dynamic:
+            pairs = [
+                (build_engine(tasks[position].spec).pcode, tasks[position].workload)
+                for position in dynamic
+            ]
+            for position, result in zip(dynamic, self._batch.run_batch(pairs)):
+                results[position] = result
+        return results
+
+
 class ProcessExecutor:
     """Fans tasks out over a :class:`concurrent.futures.ProcessPoolExecutor`.
 
@@ -135,10 +178,11 @@ class ProcessExecutor:
             return list(pool.map(execute_task, tasks, chunksize=chunksize))
 
 
-Executor = Union[SerialExecutor, ProcessExecutor]
+Executor = Union[SerialExecutor, BatchedExecutor, ProcessExecutor]
 
 _EXECUTORS: Dict[str, Callable[[], Executor]] = {
     "serial": SerialExecutor,
+    "batched": BatchedExecutor,
     "process": ProcessExecutor,
 }
 
@@ -542,7 +586,14 @@ class Study:
         how the paper's burst-vs-throttle TDP story is swept; results read
         back with ``result.get(spec.variant(tdp_w=...), scenario.name,
         suite)``.
+
+        Unless the caller picks another executor, the whole grid is stepped
+        in lockstep through the batched dynamics fast path
+        (:class:`BatchedExecutor`), which resolves every run's turbo /
+        thermal / DVFS / C-state step as one set of numpy operations
+        instead of one Python loop per cell.
         """
+        kwargs.setdefault("executor", "batched")
         resolved = [resolve_spec(spec) for spec in specs]
         if tdp_levels_w is not None:
             resolved = [

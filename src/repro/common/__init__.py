@@ -12,26 +12,26 @@ from repro.common.errors import (
     ReproError,
     SimulationError,
 )
+from repro.common.grid import FrequencyGrid
 from repro.common.units import (
     GHZ,
     KHZ,
     MHZ,
-    MILLI,
     MICRO,
+    MILLI,
     NANO,
     PICO,
     celsius_to_kelvin,
     from_ghz,
     from_mhz,
-    from_mv,
     from_mohm,
+    from_mv,
     kelvin_to_celsius,
     to_ghz,
     to_mhz,
-    to_mv,
     to_mohm,
+    to_mv,
 )
-from repro.common.grid import FrequencyGrid
 from repro.common.validation import (
     ensure_in_range,
     ensure_non_negative,

@@ -25,13 +25,13 @@ guardband the firmware must carry.  This package models that network:
 
 from repro.pdn.ac import ACAnalysis, ImpedanceProfile
 from repro.pdn.decap import CapacitorBank, die_mim_bank, package_decap_bank
+from repro.pdn.droop import DroopResult, DroopSimulator
 from repro.pdn.elements import Capacitor, Inductor, Resistor
 from repro.pdn.guardband import GuardbandBreakdown, GuardbandModel
-from repro.pdn.ladder import SkylakePdnBuilder, PdnConfiguration
+from repro.pdn.ladder import PdnConfiguration, SkylakePdnBuilder
 from repro.pdn.loadline import LoadLine, PowerVirusLevel, VirusLevelTable
 from repro.pdn.netlist import Netlist
 from repro.pdn.powergate import PowerGate
-from repro.pdn.droop import DroopSimulator, DroopResult
 from repro.pdn.transients import (
     LoadTrace,
     TraceBuilder,

@@ -31,7 +31,7 @@ from repro.pdn.decap import (
     die_mim_bank,
     package_decap_bank,
 )
-from repro.pdn.elements import Capacitor, Inductor, Resistor
+from repro.pdn.elements import Inductor
 from repro.pdn.netlist import GROUND, Netlist
 from repro.pdn.powergate import PowerGate
 from repro.pdn.vr import VoltageRegulator

@@ -14,7 +14,7 @@ This module reproduces the background model of the paper's Fig. 2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List
 
 from repro.common.errors import ConfigurationError, ConstraintViolation
 from repro.common.validation import ensure_non_negative, ensure_positive

@@ -16,7 +16,7 @@ Models the firmware behaviours the paper extends for DarkGates (Section 4.2):
 * :mod:`repro.pmu.pcode` — the firmware facade tying it all together.
 """
 
-from repro.pmu.cstates import PackageCState, PackageCStateModel, PACKAGE_CSTATE_TABLE
+from repro.pmu.cstates import PACKAGE_CSTATE_TABLE, PackageCState, PackageCStateModel
 from repro.pmu.dvfs import (
     CandidateTable,
     CpuDemand,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,25 @@ class LimitingFactor(Enum):
     THERMAL = "thermal"
     FREQUENCY_GRID = "frequency_grid"
     NONE = "none"
+
+
+#: Fixed enumeration order backing the integer codes the batched (lockstep)
+#: resolution paths use in place of enum members; ``LIMITING_FACTOR_ORDER[code]``
+#: recovers the member.  The two power-limited factors sit at the top so a
+#: single ``code >= TDP`` comparison tests for them.
+LIMITING_FACTOR_ORDER: Tuple[LimitingFactor, ...] = (
+    LimitingFactor.VMAX,
+    LimitingFactor.ICCMAX,
+    LimitingFactor.FREQUENCY_GRID,
+    LimitingFactor.NONE,
+    LimitingFactor.TDP,
+    LimitingFactor.THERMAL,
+)
+
+#: LimitingFactor -> integer code (the inverse of LIMITING_FACTOR_ORDER).
+LIMITING_FACTOR_CODES: Dict[LimitingFactor, int] = {
+    factor: code for code, factor in enumerate(LIMITING_FACTOR_ORDER)
+}
 
 
 @dataclass(frozen=True)
@@ -211,6 +230,198 @@ class CandidateTable:
             limiting_factor=limiting,
             junction_temperature_c=temperature_c,
         )
+
+
+@dataclass(frozen=True)
+class StackedCandidateTables:
+    """Several :class:`CandidateTable` rows stacked for lockstep resolution.
+
+    The batched dynamics engine steps a whole sweep grid at once, so every
+    time step has to resolve a *vector* of runs, each against its own
+    candidate table (different specs have different V/F curves, core counts
+    and TDPs).  Stacking pads every table to a common bin count and leakage
+    group count — padded bins are marked infeasible so a selection can never
+    land on them, and padded leakage groups carry zero reference power so
+    they contribute exactly ``0.0`` W — which turns per-step resolution of
+    N runs into a handful of vectorized gathers.
+
+    The arithmetic deliberately mirrors :class:`CandidateTable` operation by
+    operation (same accumulation order, same tolerances), so a batched run
+    reproduces the per-run path bin-for-bin.
+    """
+
+    #: [tables, bins] — padded bins hold 0 Hz and are never selectable.
+    frequencies_hz: np.ndarray
+    active_dynamic_w: np.ndarray
+    uncore_power_w: np.ndarray  # [tables]
+    graphics_idle_power_w: np.ndarray  # [tables]
+    #: [tables, groups] / [tables, groups, bins] active-leakage laws; padded
+    #: groups have kt == 0, T_ref == 0 and zero reference power.
+    active_kt: np.ndarray
+    active_reference_c: np.ndarray
+    active_reference_w: np.ndarray
+    idle_kt: np.ndarray
+    idle_reference_c: np.ndarray
+    idle_reference_w: np.ndarray
+    vmax_ok: np.ndarray  # [tables, bins]; padded bins False
+    iccmax_ok: np.ndarray  # [tables, bins]; padded bins False
+    bin_counts: np.ndarray  # [tables] true (unpadded) bin count
+
+    @classmethod
+    def from_tables(cls, tables: Sequence[CandidateTable]) -> "StackedCandidateTables":
+        """Stack *tables*, padding bins and leakage groups to common shapes."""
+        if not tables:
+            raise ConfigurationError("cannot stack an empty table sequence")
+        count = len(tables)
+        bins = max(len(table.frequencies_hz) for table in tables)
+        active_groups = max(len(table.active_leakage_groups) for table in tables)
+        idle_groups = max(len(table.idle_leakage_groups) for table in tables)
+
+        def padded(rows: Sequence[np.ndarray], fill: float) -> np.ndarray:
+            out = np.full((count, bins), fill, dtype=float)
+            for i, row in enumerate(rows):
+                out[i, : len(row)] = row
+            return out
+
+        def padded_groups(
+            laws: Sequence[Tuple[LeakageGroup, ...]], capacity: int
+        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+            kt = np.zeros((count, capacity), dtype=float)
+            reference_c = np.zeros((count, capacity), dtype=float)
+            reference_w = np.zeros((count, capacity, bins), dtype=float)
+            for i, groups in enumerate(laws):
+                for g, (group_kt, group_ref_c, group_ref_w) in enumerate(groups):
+                    kt[i, g] = group_kt
+                    reference_c[i, g] = group_ref_c
+                    reference_w[i, g, : len(group_ref_w)] = group_ref_w
+            return kt, reference_c, reference_w
+
+        def padded_mask(rows: Sequence[np.ndarray]) -> np.ndarray:
+            out = np.zeros((count, bins), dtype=bool)
+            for i, row in enumerate(rows):
+                out[i, : len(row)] = row
+            return out
+
+        active_kt, active_ref_c, active_ref_w = padded_groups(
+            [table.active_leakage_groups for table in tables], max(1, active_groups)
+        )
+        idle_kt, idle_ref_c, idle_ref_w = padded_groups(
+            [table.idle_leakage_groups for table in tables], max(1, idle_groups)
+        )
+        return cls(
+            frequencies_hz=padded([t.frequencies_hz for t in tables], 0.0),
+            active_dynamic_w=padded([t.active_dynamic_w for t in tables], 0.0),
+            uncore_power_w=np.array([t.uncore_power_w for t in tables], dtype=float),
+            graphics_idle_power_w=np.array(
+                [t.graphics_idle_power_w for t in tables], dtype=float
+            ),
+            active_kt=active_kt,
+            active_reference_c=active_ref_c,
+            active_reference_w=active_ref_w,
+            idle_kt=idle_kt,
+            idle_reference_c=idle_ref_c,
+            idle_reference_w=idle_ref_w,
+            vmax_ok=padded_mask([t.vmax_ok for t in tables]),
+            iccmax_ok=padded_mask([t.iccmax_ok for t in tables]),
+            bin_counts=np.array([len(t.frequencies_hz) for t in tables]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.bin_counts)
+
+    # -- vectorized per-run power ------------------------------------------------------
+
+    def _groups_power_w(
+        self,
+        kt: np.ndarray,
+        reference_c: np.ndarray,
+        reference_w: np.ndarray,
+        rows: np.ndarray,
+        temperatures_c: np.ndarray,
+    ) -> np.ndarray:
+        # Same accumulation order as CandidateTable._groups_power_w: groups
+        # are summed first-to-last, so the result is bit-identical; padded
+        # groups add an exact 0.0.
+        total = np.zeros((len(rows), reference_w.shape[2]))
+        scale = np.exp(kt[rows] * (temperatures_c[:, None] - reference_c[rows]))
+        for g in range(reference_w.shape[1]):
+            total = total + reference_w[rows, g] * scale[:, g, None]
+        return total
+
+    def package_power_w(
+        self, rows: np.ndarray, temperatures_c: np.ndarray
+    ) -> np.ndarray:
+        """Per-bin package power of run *i* resolved against table ``rows[i]``.
+
+        Reproduces :meth:`CandidateTable.package_power_w` term by term
+        (active cores + idle cores + uncore + graphics, in that order) for a
+        vector of runs at per-run junction temperatures.
+        """
+        active = self.active_dynamic_w[rows] + self._groups_power_w(
+            self.active_kt, self.active_reference_c, self.active_reference_w,
+            rows, temperatures_c,
+        )
+        idle = np.zeros_like(self.frequencies_hz[rows]) + self._groups_power_w(
+            self.idle_kt, self.idle_reference_c, self.idle_reference_w,
+            rows, temperatures_c,
+        )
+        return (
+            active + idle + self.uncore_power_w[rows, None]
+            + self.graphics_idle_power_w[rows, None]
+        )
+
+    # -- vectorized selection ----------------------------------------------------------
+
+    def select(
+        self,
+        rows: np.ndarray,
+        power_limits_w: np.ndarray,
+        temperatures_c: np.ndarray,
+        package_power_w: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`CandidateTable.select` over a batch of runs.
+
+        Returns ``(bin indices, limiting-factor codes)`` where codes index
+        :data:`LIMITING_FACTOR_ORDER`.  Semantics match the scalar path
+        exactly: the highest feasible bin wins, the reported limit is
+        whatever stops the next bin up (``FREQUENCY_GRID`` at the top of the
+        grid; an infeasible grid reports bin 0 with the first limit it
+        violates, checked Vmax, then power, then Iccmax).
+        """
+        power = (
+            self.package_power_w(rows, temperatures_c)
+            if package_power_w is None
+            else package_power_w
+        )
+        power_ok = power <= (power_limits_w + 1e-9)[:, None]
+        allowed = self.vmax_ok[rows] & self.iccmax_ok[rows] & power_ok
+        any_allowed = allowed.any(axis=1)
+        top = allowed.shape[1] - 1 - np.argmax(allowed[:, ::-1], axis=1)
+        index = np.where(any_allowed, top, 0)
+        last_bin = self.bin_counts[rows] - 1
+        # The bin whose violated limit is reported: one above the selection
+        # when a higher bin exists, bin 0 when nothing is feasible.
+        probe = np.where(any_allowed, np.minimum(index + 1, last_bin), 0)
+        run_axis = np.arange(len(rows))
+        limiting = np.select(
+            [
+                ~self.vmax_ok[rows, probe],
+                ~power_ok[run_axis, probe],
+                ~self.iccmax_ok[rows, probe],
+            ],
+            [
+                LIMITING_FACTOR_CODES[LimitingFactor.VMAX],
+                LIMITING_FACTOR_CODES[LimitingFactor.TDP],
+                LIMITING_FACTOR_CODES[LimitingFactor.ICCMAX],
+            ],
+            default=LIMITING_FACTOR_CODES[LimitingFactor.NONE],
+        )
+        limiting = np.where(
+            any_allowed & (index == last_bin),
+            LIMITING_FACTOR_CODES[LimitingFactor.FREQUENCY_GRID],
+            limiting,
+        )
+        return index, limiting
 
 
 class DvfsPolicy:

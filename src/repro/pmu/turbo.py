@@ -15,11 +15,13 @@ the budget back to the sustained (TDP) level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError
-from repro.power.budget import EwmaPowerMeter, TurboLimits
 from repro.pmu.vf_curve import VfCurve
+from repro.power.budget import BatchedEwmaMeter, EwmaPowerMeter, TurboLimits
 
 
 @dataclass(frozen=True)
@@ -137,3 +139,66 @@ class TurboBudgetManager:
     def headroom_w(self) -> float:
         """How far the moving average sits below PL1 (negative when over)."""
         return self._limits.pl1_w - self._meter.average_w
+
+
+class BatchedTurboBudgetManager:
+    """Vectorized :class:`TurboBudgetManager` over a batch of lockstep runs.
+
+    One manager tracks one *grid* of closed-loop runs, each with its own
+    PL1/PL2 pair, EWMA window and time step.  The arithmetic matches the
+    scalar manager expression for expression, so batched budget/accounting
+    trajectories are bit-identical to per-run stepping.
+
+    Parameters
+    ----------
+    limits:
+        One :class:`~repro.power.budget.TurboLimits` per run.
+    time_step_s:
+        Per-run (constant) simulation steps.
+    initial_average_w:
+        Per-run EWMA of package power at t=0.
+    """
+
+    def __init__(
+        self,
+        limits: Sequence[TurboLimits],
+        time_step_s: Sequence[float],
+        initial_average_w: Sequence[float],
+    ) -> None:
+        if not (len(limits) == len(time_step_s) == len(initial_average_w)):
+            raise ConfigurationError(
+                "limits, time_step_s and initial_average_w must align"
+            )
+        self._pl1_w = np.array([limit.pl1_w for limit in limits], dtype=float)
+        self._pl2_w = np.array([limit.pl2_w for limit in limits], dtype=float)
+        self._meter = BatchedEwmaMeter(
+            tau_s=[limit.tau_s for limit in limits],
+            time_step_s=time_step_s,
+            initial_average_w=initial_average_w,
+        )
+
+    @property
+    def pl1_w(self) -> np.ndarray:
+        """Per-run sustained power limits."""
+        return self._pl1_w
+
+    @property
+    def pl2_w(self) -> np.ndarray:
+        """Per-run burst power limits."""
+        return self._pl2_w
+
+    @property
+    def average_power_w(self) -> np.ndarray:
+        """Present per-run EWMAs of accounted package power."""
+        return self._meter.average_w
+
+    def power_budget_w(self) -> np.ndarray:
+        """Per-run package power the next step may draw (PL2-clamped)."""
+        pl1_bound = self._meter.max_power_keeping_average_w(self._pl1_w)
+        return np.minimum(self._pl2_w, pl1_bound)
+
+    def account(
+        self, power_w: np.ndarray, active: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Record one step of per-run *power_w*; returns the new averages."""
+        return self._meter.update(power_w, active=active)

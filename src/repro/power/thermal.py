@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_positive
@@ -170,3 +173,75 @@ class TransientThermalModel:
             target_ceiling - limits.ambient_c
         ) / self.steady_state.thermal_resistance_c_per_w
         return max(0.0, power)
+
+
+class BatchedThermalModel:
+    """Vectorized :class:`TransientThermalModel` over a batch of lockstep runs.
+
+    Each run has its own (constant) time step, thermal resistance and
+    capacitance, so the per-run exponential decay factor is a constant; it
+    is precomputed with the same ``math.exp(-dt / tau)`` the scalar model
+    evaluates every step, which keeps a batched trajectory bit-identical to
+    stepping each run through its own :class:`TransientThermalModel`.
+
+    Parameters
+    ----------
+    models:
+        One transient model per run (carries R, C and the limits).
+    time_step_s:
+        Per-run (constant) simulation steps.
+    """
+
+    def __init__(
+        self, models: Sequence[TransientThermalModel], time_step_s: Sequence[float]
+    ) -> None:
+        steps = np.asarray(time_step_s, dtype=float)
+        if len(models) != len(steps):
+            raise ConfigurationError("one time step per thermal model required")
+        if (steps <= 0).any():
+            raise ConfigurationError("time_step_s must be positive")
+        self._ambient_c = np.array(
+            [model.limits.ambient_c for model in models], dtype=float
+        )
+        self._tjmax_c = np.array(
+            [model.limits.tjmax_c for model in models], dtype=float
+        )
+        self._resistance_c_per_w = np.array(
+            [model.steady_state.thermal_resistance_c_per_w for model in models],
+            dtype=float,
+        )
+        self._decay = np.array(
+            [
+                math.exp(-dt / model.time_constant_s)
+                for model, dt in zip(models, steps)
+            ],
+            dtype=float,
+        )
+
+    @property
+    def ambient_c(self) -> np.ndarray:
+        """Per-run design ambient temperatures."""
+        return self._ambient_c
+
+    def step(
+        self,
+        temperature_c: np.ndarray,
+        power_w: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-run junction temperature after one step of constant *power_w*.
+
+        Runs where *active* is False keep their temperature untouched.
+        """
+        target = self._ambient_c + self._resistance_c_per_w * power_w
+        updated = target + (temperature_c - target) * self._decay
+        if active is not None:
+            updated = np.where(active, updated, temperature_c)
+        return updated
+
+    def max_power_keeping_tjmax_w(self, temperature_c: np.ndarray) -> np.ndarray:
+        """Per-run largest next-step power that keeps T <= Tjmax."""
+        decay = self._decay
+        target_ceiling = (self._tjmax_c - temperature_c * decay) / (1.0 - decay)
+        power = (target_ceiling - self._ambient_c) / self._resistance_c_per_w
+        return np.maximum(0.0, power)

@@ -15,7 +15,7 @@ which round-trip through JSON via ``to_dict()`` / ``RunResult.from_dict()``.
   engine: turbo budget, thermal RC, per-step DVFS, package C-states.
 """
 
-from repro.sim.dynamics import DynamicsSimulator
+from repro.sim.dynamics import BatchedDynamicsSimulator, DynamicsSimulator
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import (
     CpuRunResult,
@@ -30,6 +30,7 @@ from repro.sim.residency import ResidencyReport, ResidencyTracker
 __all__ = [
     "SimulationEngine",
     "RunResult",
+    "BatchedDynamicsSimulator",
     "CpuRunResult",
     "DynamicRunResult",
     "DynamicsSimulator",

@@ -33,17 +33,25 @@ transient on the way there.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.pmu.cstates import PackageCState, cstate_for_idle_duration
-from repro.pmu.dvfs import CandidateTable, CpuDemand, LimitingFactor, OperatingPoint
+from repro.pmu.dvfs import (
+    LIMITING_FACTOR_CODES,
+    LIMITING_FACTOR_ORDER,
+    CandidateTable,
+    CpuDemand,
+    LimitingFactor,
+    OperatingPoint,
+    StackedCandidateTables,
+)
 from repro.pmu.pcode import Pcode
-from repro.pmu.turbo import TurboBudgetManager
+from repro.pmu.turbo import BatchedTurboBudgetManager, TurboBudgetManager
 from repro.power.budget import TurboLimits
-from repro.power.thermal import TransientThermalModel
+from repro.power.thermal import BatchedThermalModel, TransientThermalModel
 from repro.sim.metrics import DynamicRunResult
 from repro.workloads.dynamics import AUTO_CSTATE, DynamicPhase, DynamicScenario
 
@@ -55,6 +63,27 @@ class _SustainedPoint:
     bin_index: int
     limiting: LimitingFactor
     operating_point: OperatingPoint
+
+
+def phase_step_counts(scenario: DynamicScenario) -> List[int]:
+    """Steps per phase on the scenario's global time grid.
+
+    Phase boundaries are quantised from the *cumulative* timeline (each
+    phase keeps at least one step), so rounding never accumulates across a
+    multi-phase scenario: the run always ends within half a step of
+    ``scenario.duration_s``.  Shared by the per-run and batched steppers so
+    both walk exactly the same grid.
+    """
+    dt = scenario.time_step_s
+    counts: List[int] = []
+    elapsed_steps = 0
+    scheduled_end_s = 0.0
+    for phase in scenario.phases:
+        scheduled_end_s += phase.duration_s
+        steps = max(1, round(scheduled_end_s / dt) - elapsed_steps)
+        elapsed_steps += steps
+        counts.append(steps)
+    return counts
 
 
 class _TraceRecorder:
@@ -133,16 +162,7 @@ class DynamicsSimulator:
         recorder = _TraceRecorder()
         time_s = 0.0
         dt = scenario.time_step_s
-        # Phase boundaries are quantised to the global step grid from the
-        # *cumulative* timeline (each phase keeps at least one step), so
-        # rounding never accumulates across a multi-phase scenario: the run
-        # always ends within half a step of scenario.duration_s.
-        elapsed_steps = 0
-        scheduled_end_s = 0.0
-        for phase in scenario.phases:
-            scheduled_end_s += phase.duration_s
-            steps = max(1, round(scheduled_end_s / dt) - elapsed_steps)
-            elapsed_steps += steps
+        for phase, steps in zip(scenario.phases, phase_step_counts(scenario)):
             if phase.is_idle:
                 stepper = self._idle_stepper(phase)
             else:
@@ -267,3 +287,467 @@ class DynamicsSimulator:
             )
             self._sustained_cache[demand] = cached
         return cached
+
+
+# -- the batched (lockstep) fast path --------------------------------------------------
+
+
+#: Trace code of the active package state.
+_C0_NAME = PackageCState.C0.value
+
+_CODE_VMAX = LIMITING_FACTOR_CODES[LimitingFactor.VMAX]
+_CODE_TDP = LIMITING_FACTOR_CODES[LimitingFactor.TDP]
+_CODE_ICCMAX = LIMITING_FACTOR_CODES[LimitingFactor.ICCMAX]
+_CODE_THERMAL = LIMITING_FACTOR_CODES[LimitingFactor.THERMAL]
+_CODE_FREQUENCY_GRID = LIMITING_FACTOR_CODES[LimitingFactor.FREQUENCY_GRID]
+_CODE_NONE = LIMITING_FACTOR_CODES[LimitingFactor.NONE]
+
+
+class _ActiveSegment:
+    """Row-dependent gathers of one lockstep segment, hoisted out of the loop.
+
+    Between two phase boundaries every run's candidate table, sustained
+    point and activity are fixed, so the per-step work reduces to the
+    temperature/budget-dependent arithmetic in :meth:`resolve` — a flat
+    sequence of vectorized operations replicating the per-run stepper
+    expression for expression.
+
+    :meth:`resolve` is the segment-hoisted fusion of
+    :meth:`~repro.pmu.dvfs.StackedCandidateTables.package_power_w` and
+    :meth:`~repro.pmu.dvfs.StackedCandidateTables.select` (which gather per
+    call and stay the general-purpose vectorized API).  Both implementations
+    are pinned against the scalar oracle: the stacked tables by
+    ``test_stacked_tables_match_scalar_select``, this fused path by the
+    batched-vs-reference bit-identity suite — change one, and its test
+    catches the drift.
+    """
+
+    def __init__(
+        self,
+        stacked: StackedCandidateTables,
+        steps: Dict[str, np.ndarray],
+        run_axis: np.ndarray,
+        t0: int,
+        active: np.ndarray,
+    ) -> None:
+        rows = steps["table_slot"][:, t0]
+        self._run_axis = run_axis
+        self._active = active
+        self._all_active = bool(active.all())
+        self._dynamic_w = stacked.active_dynamic_w[rows]
+        self._frequencies_hz = stacked.frequencies_hz[rows]
+        vmax_ok = stacked.vmax_ok[rows]
+        iccmax_ok = stacked.iccmax_ok[rows]
+        self._static_ok = vmax_ok & iccmax_ok
+        self._bin_range = np.arange(vmax_ok.shape[1])
+        # Blocking-limit code of each bin, indexed by the (per-step) power
+        # verdict at that bin; mirrors CandidateTable._blocking_limit's
+        # precedence: Vmax first, then power (TDP), then Iccmax, then NONE.
+        self._blocking_codes = np.stack(
+            [
+                np.where(vmax_ok, _CODE_TDP, _CODE_VMAX),
+                np.where(
+                    vmax_ok,
+                    np.where(iccmax_ok, _CODE_NONE, _CODE_ICCMAX),
+                    _CODE_VMAX,
+                ),
+            ]
+        )
+        # Active and idle leakage laws share one exp evaluation; the first
+        # `group_split` groups are the active-core laws.
+        self._kt = np.concatenate(
+            [stacked.active_kt[rows], stacked.idle_kt[rows]], axis=1
+        )
+        self._reference_c = np.concatenate(
+            [stacked.active_reference_c[rows], stacked.idle_reference_c[rows]],
+            axis=1,
+        )
+        active_groups = stacked.active_reference_w.shape[1]
+        self._group_split = active_groups
+        self._group_reference_w = [
+            stacked.active_reference_w[rows, g] for g in range(active_groups)
+        ] + [
+            stacked.idle_reference_w[rows, g]
+            for g in range(stacked.idle_reference_w.shape[1])
+        ]
+        self._uncore_w = stacked.uncore_power_w[rows]
+        self._graphics_w = stacked.graphics_idle_power_w[rows]
+        self._last_bin = stacked.bin_counts[rows] - 1
+        self._sustained_bin = steps["sustained_bin"][:, t0]
+        self._sustained_code = steps["sustained_code"][:, t0]
+
+    def resolve(
+        self,
+        temperature_c: np.ndarray,
+        power_limit_w: np.ndarray,
+        armed: np.ndarray,
+        budget_w: np.ndarray,
+        pl2_w: np.ndarray,
+        thermal_cap_w: np.ndarray,
+        idle_power_w: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One lockstep DVFS resolution: (frequency, power, limiting, exhausted)."""
+        # Per-bin package power, replicating CandidateTable.package_power_w
+        # term by term: (dynamic + active leakage) + idle leakage, then
+        # uncore, then graphics.  The leakage groups are summed *before*
+        # adding the dynamic term — the scalar path's association — and
+        # padded groups contribute exact zeros.
+        scale = np.exp(self._kt * (temperature_c[:, None] - self._reference_c))
+        groups = self._group_reference_w
+        leakage = groups[0] * scale[:, 0, None]
+        for g in range(1, self._group_split):
+            leakage = leakage + groups[g] * scale[:, g, None]
+        cores = self._dynamic_w + leakage
+        idle = groups[self._group_split] * scale[:, self._group_split, None]
+        for g in range(self._group_split + 1, len(groups)):
+            idle = idle + groups[g] * scale[:, g, None]
+        package = ((cores + idle) + self._uncore_w[:, None]) + self._graphics_w[:, None]
+        # Bin selection (CandidateTable.select): highest statically-feasible
+        # bin under the instantaneous power limit.  The mul/max form picks
+        # the highest allowed index and falls back to 0 when nothing is
+        # allowed, matching the scalar path's infeasible-grid handling.
+        power_ok = package <= (power_limit_w + 1e-9)[:, None]
+        allowed = self._static_ok & power_ok
+        any_allowed = allowed.any(axis=1)
+        index = (allowed * self._bin_range).max(axis=1)
+        probe = np.where(any_allowed, np.minimum(index + 1, self._last_bin), 0)
+        limiting = self._blocking_codes[
+            power_ok[self._run_axis, probe].view(np.int8), self._run_axis, probe
+        ]
+        limiting = np.where(
+            any_allowed & (index == self._last_bin), _CODE_FREQUENCY_GRID, limiting
+        )
+        # A power-limited verdict is thermal when the thermal cap was the
+        # binding half of the min(budget, cap) envelope.
+        compare = np.where(armed, budget_w, pl2_w)
+        limiting = np.where(
+            (limiting == _CODE_TDP) & (thermal_cap_w < compare),
+            _CODE_THERMAL,
+            limiting,
+        )
+        # Armed runs whose power-limited search decays onto (or below) the
+        # sustained bin have spent the turbo bank; exhausted runs latch the
+        # sustained (TDP-table) point until an idle gap re-banks budget.
+        exhausted = armed & (limiting >= _CODE_TDP) & (index <= self._sustained_bin)
+        clamp = ~armed & (index >= self._sustained_bin)
+        index = np.where(clamp, self._sustained_bin, index)
+        limiting = np.where(clamp, self._sustained_code, limiting)
+        frequency = self._frequencies_hz[self._run_axis, index]
+        power = package[self._run_axis, index]
+        if not self._all_active:
+            exhausted = exhausted & self._active
+            frequency = np.where(self._active, frequency, 0.0)
+            power = np.where(self._active, power, idle_power_w)
+            limiting = np.where(self._active, limiting, _CODE_NONE)
+        return frequency, power, limiting, exhausted
+
+
+@dataclass
+class _RunPlan:
+    """Everything one run contributes to the lockstep grid, pre-resolved."""
+
+    scenario: DynamicScenario
+    limits: TurboLimits
+    thermal: TransientThermalModel
+    initial_temperature_c: float
+    initial_armed: bool
+    n_steps: int
+    # Per-step attribute vectors (length n_steps).
+    table_slot: np.ndarray  # stacked-table row (0 for idle steps)
+    is_active: np.ndarray  # bool
+    sustained_bin: np.ndarray  # int
+    sustained_code: np.ndarray  # limiting-factor code of the sustained point
+    idle_power_w: np.ndarray  # float (0 for active steps)
+    cstate_code: np.ndarray  # trace code of the package state
+
+
+class BatchedDynamicsSimulator:
+    """Steps an entire sweep grid of dynamic runs in lockstep.
+
+    The per-run :class:`DynamicsSimulator` re-enters the Python interpreter
+    every step of every run, which makes ``Study.over_dynamics`` sweeps
+    (specs x scenarios x TDP levels) scale with the interpreter rather than
+    the hardware.  This simulator instead advances all N runs of a grid at
+    once as numpy arrays: one :class:`~repro.pmu.dvfs.StackedCandidateTables`
+    resolves every run's DVFS bin per step, a
+    :class:`~repro.pmu.turbo.BatchedTurboBudgetManager` carries every run's
+    EWMA turbo budget, and a
+    :class:`~repro.power.thermal.BatchedThermalModel` carries every run's
+    thermal RC state.  Runs may differ arbitrarily (specs, scenarios, time
+    steps, durations); shorter runs simply freeze once their timeline ends.
+
+    The arithmetic replicates the per-run stepper operation for operation,
+    so the trajectories are bit-compatible: identical frequency-bin,
+    limiting-factor and C-state traces, and float traces equal to the
+    per-run path (asserted within tight tolerance by the equivalence
+    tests).  The per-run engine stays available as ``method="reference"``
+    on :meth:`~repro.sim.engine.SimulationEngine.run_dynamic_scenario`.
+    """
+
+    def __init__(self) -> None:
+        # Keyed by Pcode identity: keeps each system's sustained-point and
+        # candidate-table caches warm across batches.
+        self._simulators: Dict[Pcode, DynamicsSimulator] = {}
+
+    def simulator(self, pcode: Pcode) -> DynamicsSimulator:
+        """The per-run (reference) simulator backing *pcode*'s precompute."""
+        simulator = self._simulators.get(pcode)
+        if simulator is None:
+            simulator = DynamicsSimulator(pcode)
+            self._simulators[pcode] = simulator
+        return simulator
+
+    # -- public API --------------------------------------------------------------------
+
+    def run_batch(
+        self, runs: Sequence[Tuple[Pcode, DynamicScenario]]
+    ) -> List[DynamicRunResult]:
+        """Simulate every (system, scenario) run in lockstep.
+
+        Returns one :class:`~repro.sim.metrics.DynamicRunResult` per run, in
+        input order — each equal to what ``DynamicsSimulator(pcode).run(
+        scenario)`` produces for that pair.
+        """
+        if not runs:
+            return []
+        tables: List[CandidateTable] = []
+        table_slots: Dict[int, int] = {}
+        cstate_codes: Dict[str, int] = {_C0_NAME: 0}
+        plans = [
+            self._plan(pcode, scenario, tables, table_slots, cstate_codes)
+            for pcode, scenario in runs
+        ]
+        traces = self._step_grid(plans, tables)
+        cstate_names = list(cstate_codes)
+        return [
+            self._materialise(plan, traces, run_index, cstate_names)
+            for run_index, plan in enumerate(plans)
+        ]
+
+    # -- precompute --------------------------------------------------------------------
+
+    def _plan(
+        self,
+        pcode: Pcode,
+        scenario: DynamicScenario,
+        tables: List[CandidateTable],
+        table_slots: Dict[int, int],
+        cstate_codes: Dict[str, int],
+    ) -> _RunPlan:
+        simulator = self.simulator(pcode)
+        processor = pcode.processor
+        thermal = TransientThermalModel(
+            steady_state=processor.thermal_model(),
+            capacitance_j_per_c=scenario.thermal_capacitance_j_per_c,
+        )
+        limits = TurboLimits.from_tdp(
+            processor.tdp_w,
+            pl2_ratio=scenario.pl2_ratio,
+            tau_s=scenario.turbo_tau_s,
+        )
+        step_counts = phase_step_counts(scenario)
+        slots: List[int] = []
+        active: List[bool] = []
+        sustained_bins: List[int] = []
+        sustained_codes: List[int] = []
+        idle_powers: List[float] = []
+        cstates: List[int] = []
+        for phase in scenario.phases:
+            if phase.is_idle:
+                state = simulator._resolve_idle_state(phase)
+                slots.append(0)
+                active.append(False)
+                sustained_bins.append(0)
+                sustained_codes.append(_CODE_NONE)
+                idle_powers.append(pcode.cstate_model.power_w(state))
+                cstates.append(
+                    cstate_codes.setdefault(state.value, len(cstate_codes))
+                )
+            else:
+                demand = phase.demand()
+                table = pcode.dvfs_policy.candidate_table(demand)
+                slot = table_slots.get(id(table))
+                if slot is None:
+                    slot = table_slots[id(table)] = len(tables)
+                    tables.append(table)
+                sustained = simulator._sustained_point(demand, table)
+                slots.append(slot)
+                active.append(True)
+                sustained_bins.append(sustained.bin_index)
+                sustained_codes.append(LIMITING_FACTOR_CODES[sustained.limiting])
+                idle_powers.append(0.0)
+                cstates.append(cstate_codes[_C0_NAME])
+        counts = np.asarray(step_counts)
+        return _RunPlan(
+            scenario=scenario,
+            limits=limits,
+            thermal=thermal,
+            initial_temperature_c=(
+                scenario.initial_temperature_c
+                if scenario.initial_temperature_c is not None
+                else thermal.limits.ambient_c
+            ),
+            initial_armed=scenario.initial_average_power_w < limits.pl1_w,
+            n_steps=int(counts.sum()),
+            table_slot=np.repeat(np.asarray(slots), counts),
+            is_active=np.repeat(np.asarray(active, dtype=bool), counts),
+            sustained_bin=np.repeat(np.asarray(sustained_bins), counts),
+            sustained_code=np.repeat(np.asarray(sustained_codes), counts),
+            idle_power_w=np.repeat(np.asarray(idle_powers, dtype=float), counts),
+            cstate_code=np.repeat(np.asarray(cstates), counts),
+        )
+
+    @staticmethod
+    def _stack_steps(plans: Sequence[_RunPlan], total_steps: int) -> Dict[str, np.ndarray]:
+        def stacked(attribute: str, dtype, fill) -> np.ndarray:
+            out = np.full((len(plans), total_steps), fill, dtype=dtype)
+            for i, plan in enumerate(plans):
+                out[i, : plan.n_steps] = getattr(plan, attribute)
+            return out
+
+        return {
+            "table_slot": stacked("table_slot", np.int64, 0),
+            "is_active": stacked("is_active", bool, False),
+            "sustained_bin": stacked("sustained_bin", np.int64, 0),
+            "sustained_code": stacked("sustained_code", np.int64, _CODE_NONE),
+            "idle_power_w": stacked("idle_power_w", float, 0.0),
+            "cstate_code": stacked("cstate_code", np.int64, 0),
+        }
+
+    @staticmethod
+    def _segment_bounds(plans: Sequence[_RunPlan], total_steps: int) -> np.ndarray:
+        # Per-run step attributes only change at phase boundaries (and at
+        # each run's end), so the grid is advanced in segments between the
+        # union of those change points: everything row-dependent is gathered
+        # once per segment, leaving only state-dependent math per step.
+        boundaries = {0, total_steps}
+        for plan in plans:
+            offset = 0
+            for count in phase_step_counts(plan.scenario):
+                boundaries.add(offset)
+                offset += count
+            boundaries.add(offset)
+        return np.array(sorted(b for b in boundaries if 0 <= b <= total_steps))
+
+    # -- the lockstep loop -------------------------------------------------------------
+
+    def _step_grid(
+        self, plans: Sequence[_RunPlan], tables: Sequence[CandidateTable]
+    ) -> Dict[str, np.ndarray]:
+        n_runs = len(plans)
+        n_steps = np.array([plan.n_steps for plan in plans])
+        total_steps = int(n_steps.max())
+        steps = self._stack_steps(plans, total_steps)
+        time_step_s = [plan.scenario.time_step_s for plan in plans]
+        stacked = StackedCandidateTables.from_tables(tables) if tables else None
+        turbo = BatchedTurboBudgetManager(
+            [plan.limits for plan in plans],
+            time_step_s=time_step_s,
+            initial_average_w=[
+                plan.scenario.initial_average_power_w for plan in plans
+            ],
+        )
+        thermal = BatchedThermalModel(
+            [plan.thermal for plan in plans], time_step_s=time_step_s
+        )
+        pl2_w = turbo.pl2_w
+        rebank_threshold_w = np.array(
+            [plan.limits.pl1_w * plan.scenario.rebank_fraction for plan in plans]
+        )
+        temperature = np.array(
+            [plan.initial_temperature_c for plan in plans], dtype=float
+        )
+        armed = np.array([plan.initial_armed for plan in plans], dtype=bool)
+        run_axis = np.arange(n_runs)
+
+        # Step-major trace layout: each step writes one contiguous row.
+        traces = {
+            "frequency_hz": np.zeros((total_steps, n_runs)),
+            "power_w": np.zeros((total_steps, n_runs)),
+            "temperature_c": np.zeros((total_steps, n_runs)),
+            "average_w": np.zeros((total_steps, n_runs)),
+            "limiting": np.full((total_steps, n_runs), _CODE_NONE, dtype=np.int64),
+            "cstate": steps["cstate_code"].T.copy(),
+        }
+        bounds = self._segment_bounds(plans, total_steps)
+        for t0, t1 in zip(bounds[:-1], bounds[1:]):
+            alive = t0 < n_steps
+            active = steps["is_active"][:, t0] & alive
+            all_alive = bool(alive.all())
+            any_active = stacked is not None and bool(active.any())
+            idle_power = steps["idle_power_w"][:, t0]
+            if any_active:
+                segment = _ActiveSegment(
+                    stacked, steps, run_axis, int(t0), active
+                )
+            for t in range(int(t0), int(t1)):
+                if any_active:
+                    thermal_cap = thermal.max_power_keeping_tjmax_w(temperature)
+                    budget = turbo.power_budget_w()
+                    # Armed runs draw up to the EWMA budget; exhausted runs
+                    # are ceilinged by instantaneous PL2 — both under the
+                    # thermal cap.
+                    limit = np.where(
+                        armed,
+                        np.minimum(budget, thermal_cap),
+                        np.minimum(pl2_w, thermal_cap),
+                    )
+                    frequency, power, limiting, exhausted = segment.resolve(
+                        temperature, limit, armed, budget, pl2_w, thermal_cap,
+                        idle_power,
+                    )
+                else:
+                    frequency = np.zeros(n_runs)
+                    power = idle_power
+                    limiting = np.full(n_runs, _CODE_NONE, dtype=np.int64)
+                    exhausted = None
+                average = turbo.account(power, active=None if all_alive else alive)
+                temperature = thermal.step(
+                    temperature, power, active=None if all_alive else alive
+                )
+                rebank = np.where(average <= rebank_threshold_w, True, armed)
+                new_armed = (
+                    rebank if exhausted is None else np.where(exhausted, False, rebank)
+                )
+                armed = new_armed if all_alive else np.where(alive, new_armed, armed)
+                traces["frequency_hz"][t] = frequency
+                traces["power_w"][t] = power
+                traces["temperature_c"][t] = temperature
+                traces["average_w"][t] = average
+                traces["limiting"][t] = limiting
+        return traces
+
+    # -- result materialisation --------------------------------------------------------
+
+    @staticmethod
+    def _materialise(
+        plan: _RunPlan,
+        traces: Dict[str, np.ndarray],
+        run_index: int,
+        cstate_names: Sequence[str],
+    ) -> DynamicRunResult:
+        n = plan.n_steps
+        dt = plan.scenario.time_step_s
+        # cumsum accumulates left to right, matching the reference loop's
+        # repeated `time_s += dt` bit for bit.
+        times = np.cumsum(np.full(n, dt))
+        limiting_names = np.array(
+            [factor.value for factor in LIMITING_FACTOR_ORDER], dtype=object
+        )
+        limiting_values = limiting_names[traces["limiting"][:n, run_index]].tolist()
+        cstates = np.array(list(cstate_names), dtype=object)[
+            traces["cstate"][:n, run_index]
+        ].tolist()
+        return DynamicRunResult(
+            scenario_name=plan.scenario.name,
+            time_step_s=dt,
+            pl1_w=plan.limits.pl1_w,
+            pl2_w=plan.limits.pl2_w,
+            times_s=tuple(times.tolist()),
+            frequencies_hz=tuple(traces["frequency_hz"][:n, run_index].tolist()),
+            package_powers_w=tuple(traces["power_w"][:n, run_index].tolist()),
+            temperatures_c=tuple(traces["temperature_c"][:n, run_index].tolist()),
+            average_powers_w=tuple(traces["average_w"][:n, run_index].tolist()),
+            limiting_factors=tuple(limiting_values),
+            package_cstates=tuple(cstates),
+        )

@@ -21,7 +21,7 @@ from repro.pmu.dvfs import CpuDemand
 from repro.pmu.pbm import GraphicsDemand
 from repro.pmu.pcode import Pcode
 from repro.power.leakage import NOMINAL_SILICON_TEMPERATURE_C
-from repro.sim.dynamics import DynamicsSimulator
+from repro.sim.dynamics import BatchedDynamicsSimulator
 from repro.sim.metrics import (
     CpuRunResult,
     DynamicRunResult,
@@ -56,7 +56,7 @@ class SimulationEngine:
     def __init__(self, pcode: Pcode) -> None:
         self._pcode = pcode
         self._droop_simulators: Dict[float, DroopSimulator] = {}
-        self._dynamics_simulator: Optional[DynamicsSimulator] = None
+        self._batched_dynamics: Optional[BatchedDynamicsSimulator] = None
 
     @property
     def pcode(self) -> Pcode:
@@ -168,17 +168,30 @@ class SimulationEngine:
 
     # -- dynamic (time-stepped) scenarios --------------------------------------------------
 
-    def run_dynamic_scenario(self, scenario: DynamicScenario) -> DynamicRunResult:
+    def run_dynamic_scenario(
+        self, scenario: DynamicScenario, method: str = "batched"
+    ) -> DynamicRunResult:
         """Step a dynamic scenario through the closed Pcode loop.
 
         The loop couples the PL1/PL2 turbo budget, the lumped thermal RC
         model, per-step DVFS re-resolution and package C-state entry; see
-        :mod:`repro.sim.dynamics`.  The simulator is shared across runs so
-        per-demand candidate tables are built once per engine.
+        :mod:`repro.sim.dynamics`.  ``method="batched"`` (the default)
+        resolves the trajectory through the vectorized lockstep engine (a
+        batch of one); ``method="reference"`` steps the retained per-run
+        Python loop, which the batched path is asserted bit-compatible
+        with.  The simulator is shared across runs so per-demand candidate
+        tables and sustained points are built once per engine.
         """
-        if self._dynamics_simulator is None:
-            self._dynamics_simulator = DynamicsSimulator(self._pcode)
-        return self._dynamics_simulator.run(scenario)
+        if self._batched_dynamics is None:
+            self._batched_dynamics = BatchedDynamicsSimulator()
+        if method == "batched":
+            (result,) = self._batched_dynamics.run_batch([(self._pcode, scenario)])
+            return result
+        if method == "reference":
+            return self._batched_dynamics.simulator(self._pcode).run(scenario)
+        raise ConfigurationError(
+            f"unknown dynamics method {method!r}; expected 'batched' or 'reference'"
+        )
 
     # -- energy scenarios ------------------------------------------------------------------
 

@@ -13,7 +13,7 @@ paper's mechanisms act on them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import ClassVar, List, Protocol, Tuple, runtime_checkable
 
 from repro.common.errors import ConfigurationError

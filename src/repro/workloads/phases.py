@@ -10,7 +10,7 @@ for a fraction of the observation window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_positive

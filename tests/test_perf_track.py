@@ -1,0 +1,145 @@
+"""Unit tests for the perf-track merge/regression gate (benchmarks/perf_track.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_track", Path(__file__).parent.parent / "benchmarks" / "perf_track.py"
+)
+perf_track = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(perf_track)
+
+
+def _write_artifacts(output_dir: Path) -> None:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    (output_dir / "droop_benchmark.json").write_text(
+        json.dumps({"speedup_scan_vs_reference": 40.0, "steps": 8000})
+    )
+    (output_dir / "dynamics_benchmark.json").write_text(
+        json.dumps({"speedup_batched_vs_reference": 12.0, "runs": 192})
+    )
+
+
+def test_benchmark_name_strips_suffix():
+    assert perf_track.benchmark_name(Path("droop_benchmark.json")) == "droop"
+    assert perf_track.benchmark_name(Path("other.json")) == "other"
+
+
+def test_headline_speedup_picks_speedup_key():
+    assert perf_track.headline_speedup({"speedup_x_vs_y": 3.0, "steps": 9}) == 3.0
+    assert perf_track.headline_speedup({"steps": 9}) is None
+
+
+def test_load_artifacts_skips_summary(tmp_path):
+    _write_artifacts(tmp_path)
+    (tmp_path / "bench_summary.json").write_text("{}")
+    artifacts = perf_track.load_artifacts(tmp_path)
+    assert sorted(artifacts) == ["droop", "dynamics"]
+
+
+def test_build_summary_shape():
+    summary = perf_track.build_summary(
+        {"droop": {"speedup_scan_vs_reference": 40.0}},
+        commit="abc123",
+        generated_at="2026-07-30T00:00:00+00:00",
+    )
+    assert summary["commit"] == "abc123"
+    assert summary["generated_at"] == "2026-07-30T00:00:00+00:00"
+    assert summary["benchmarks"]["droop"]["speedup"] == 40.0
+
+
+@pytest.mark.parametrize(
+    "current, baseline, n_failures",
+    [
+        (12.0, 13.0, 0),  # mild noise: fine
+        (7.0, 13.0, 0),  # just above the 2x floor (6.5): fine
+        (6.0, 13.0, 1),  # regressed more than 2x: gate
+    ],
+)
+def test_check_regressions_thresholds(current, baseline, n_failures):
+    summary = perf_track.build_summary(
+        {"dynamics": {"speedup_batched_vs_reference": current}},
+        commit="c",
+        generated_at="t",
+    )
+    failures = perf_track.check_regressions(
+        summary, {"dynamics": {"speedup": baseline}}
+    )
+    assert len(failures) == n_failures
+
+
+def test_check_regressions_missing_benchmark_fails():
+    summary = perf_track.build_summary({}, commit="c", generated_at="t")
+    failures = perf_track.check_regressions(summary, {"dynamics": {"speedup": 13.0}})
+    assert len(failures) == 1
+    assert "no artifact" in failures[0]
+
+
+def test_check_regressions_ungated_artifact_fails():
+    summary = perf_track.build_summary(
+        {"fresh": {"speedup_new_vs_old": 9.0}}, commit="c", generated_at="t"
+    )
+    failures = perf_track.check_regressions(summary, {})
+    assert len(failures) == 1
+    assert "no baseline entry" in failures[0]
+
+
+def test_check_regressions_missing_metric_fails():
+    summary = perf_track.build_summary(
+        {"dynamics": {"runs": 3}}, commit="c", generated_at="t"
+    )
+    failures = perf_track.check_regressions(summary, {"dynamics": {"speedup": 13.0}})
+    assert len(failures) == 1
+    assert "no speedup metric" in failures[0]
+
+
+def test_main_update_baseline_then_gate(tmp_path, capsys):
+    output_dir = tmp_path / "output"
+    _write_artifacts(output_dir)
+    baseline = tmp_path / "baseline.json"
+    summary = output_dir / "bench_summary.json"
+    argv = [
+        "--output-dir", str(output_dir),
+        "--output", str(summary),
+        "--baseline", str(baseline),
+    ]
+    assert perf_track.main(argv + ["--update-baseline"]) == 0
+    written = json.loads(baseline.read_text())
+    assert written == {"droop": {"speedup": 40.0}, "dynamics": {"speedup": 12.0}}
+
+    # Same numbers: the gate passes and the summary is commit-stamped.
+    assert perf_track.main(argv) == 0
+    payload = json.loads(summary.read_text())
+    assert set(payload) == {"commit", "generated_at", "benchmarks"}
+    assert payload["benchmarks"]["dynamics"]["speedup"] == 12.0
+
+    # A >2x regression fails the gate.
+    (output_dir / "dynamics_benchmark.json").write_text(
+        json.dumps({"speedup_batched_vs_reference": 4.0})
+    )
+    assert perf_track.main(argv) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_main_requires_artifacts_and_baseline(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    argv = ["--output-dir", str(empty)]
+    assert perf_track.main(argv) == 2  # no artifacts
+
+    _write_artifacts(empty)
+    assert (
+        perf_track.main(
+            argv
+            + [
+                "--output", str(tmp_path / "s.json"),
+                "--baseline", str(tmp_path / "missing.json"),
+            ]
+        )
+        == 2
+    )  # no baseline yet
