@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from repro.core.darkgates import baseline_system, darkgates_system
+from repro.core.spec import get_spec
 from repro.pdn.guardband import GuardbandModel
 from repro.pdn.loadline import default_virus_table
 from repro.pmu.dvfs import CpuDemand, DvfsPolicy
@@ -50,16 +50,16 @@ def _rate_frequency_gain(tdp_w: float, coupling: float) -> float:
 
 def _ablation_summary():
     # C8 ablation (energy limits).
-    darkgates = SimulationEngine(darkgates_system(91.0))
+    darkgates = SimulationEngine(get_spec("darkgates", tdp_w=91.0).build())
     scenario = rmt_scenario()
     with_c8 = darkgates.run_energy_scenario(scenario)
 
     # Reliability-guardband ablation (performance).
     suite = spec_cpu2006_base_suite()
-    baseline_engine = SimulationEngine(baseline_system(91.0))
-    with_margin = SimulationEngine(darkgates_system(91.0))
+    baseline_engine = SimulationEngine(get_spec("baseline", tdp_w=91.0).build())
+    with_margin = SimulationEngine(get_spec("darkgates", tdp_w=91.0).build())
     without_margin = SimulationEngine(
-        darkgates_system(91.0, apply_reliability_guardband=False)
+        get_spec("darkgates", tdp_w=91.0, apply_reliability_guardband=False).build()
     )
 
     def average_gain(engine):

@@ -9,7 +9,7 @@ benchmarks' limits, DarkGates+C8 meets them.
 from __future__ import annotations
 
 from repro.analysis.experiments import run_fig10_energy_efficiency
-from repro.core.darkgates import baseline_system, darkgates_system
+from repro.core.spec import get_spec
 from repro.pmu.cstates import PackageCState
 
 
@@ -46,8 +46,8 @@ def test_fig10_energy_efficiency(benchmark):
         assert baseline_ok
 
     # Section 4.3: DarkGates package-C7 power is more than 3x the baseline's.
-    darkgates = darkgates_system(91.0)
-    baseline = baseline_system(91.0)
+    darkgates = get_spec("darkgates", tdp_w=91.0).build()
+    baseline = get_spec("baseline", tdp_w=91.0).build()
     ratio = darkgates.cstate_model.power_w(PackageCState.C7) / baseline.cstate_model.power_w(
         PackageCState.C7
     )

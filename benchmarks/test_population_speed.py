@@ -1,0 +1,107 @@
+"""Population-sweep performance — lockstep fast path versus per-die stepping.
+
+``Study.over_population`` can run a sampled die population two ways: the
+*reference* path materialises one ``SystemSpec.variant()`` per die and steps
+each through its own engine, while the *fast* path injects the population's
+parameter arrays straight into the batched dynamics state and steps every
+die in lockstep.  This benchmark runs a >= 4096-die population through both
+paths on the same seed, asserts that the population quantiles (in fact the
+entire condensed cells, binning included) are identical, and records the
+timings to ``benchmarks/output/population_benchmark.json`` so CI can track
+the perf trajectory across PRs (see ``benchmarks/perf_track.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.study import Study
+from repro.variation.distributions import skylake_process_variation
+from repro.workloads.dynamics import burst_scenario
+
+#: Where the timing artifact lands (overridable for local experiments).
+OUTPUT_PATH = Path(
+    os.environ.get(
+        "POPULATION_BENCH_OUT",
+        Path(__file__).parent / "output" / "population_benchmark.json",
+    )
+)
+
+#: Acceptance floor: the fast path must beat per-die stepping by >= 5x on
+#: the 4096-die population (measured speedups are far higher; shared CI
+#: runners are noisy, hence the conservative floor).
+MIN_SPEEDUP = 5.0
+
+DICE = 4096
+SEED = 1337
+TDP_W = 65.0
+
+
+def _study(method: str) -> Study:
+    scenario = burst_scenario(
+        idle_lead_s=4.0,
+        burst_s=12.0,
+        thermal_capacitance_j_per_c=5.0,
+        time_step_s=0.1,
+    )
+    return Study.over_population(
+        ("darkgates",),
+        (scenario,),
+        skylake_process_variation(),
+        count=DICE,
+        tdp_levels_w=(TDP_W,),
+        seed=SEED,
+        method=method,
+        name=f"population-bench-{method}",
+    )
+
+
+def test_population_fast_path_speedup(benchmark):
+    # Warm shared caches (engine build, nominal candidate tables) so the
+    # timed sections compare stepping strategies, not first-touch costs.
+    fast_result = _study("fast").run()
+
+    start = time.perf_counter()
+    fast_result = _study("fast").run()
+    fast_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference_result = _study("reference").run()
+    reference_s = time.perf_counter() - start
+
+    benchmark.pedantic(
+        lambda: _study("fast").run(), rounds=1, iterations=1, warmup_rounds=0
+    )
+    speedup = reference_s / fast_s
+
+    identical = (
+        fast_result.cells == reference_result.cells
+        and fast_result.binning == reference_result.binning
+    )
+    cell = fast_result.cells[0]
+    payload = {
+        "dice": DICE,
+        "seed": SEED,
+        "tdp_w": TDP_W,
+        "steps_per_die": len(cell.times_s),
+        "reference_s": reference_s,
+        "fast_s": fast_s,
+        "speedup_fast_vs_reference": speedup,
+        "quantiles_identical": identical,
+        "bin_yields": fast_result.bin_yields("darkgates"),
+    }
+    OUTPUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2))
+
+    print()
+    print(f"population: {DICE} dice x {len(cell.times_s)} steps")
+    print(f"reference (per-die):   {reference_s:8.2f} s")
+    print(f"fast (lockstep):       {fast_s:8.2f} s  ({speedup:.1f}x)")
+    print(f"timing artifact:       {OUTPUT_PATH}")
+
+    assert payload["dice"] >= 4096 and cell.count >= 4096
+    assert identical, "fast-path population diverged from the per-die reference"
+    assert speedup >= MIN_SPEEDUP

@@ -9,15 +9,15 @@ from __future__ import annotations
 
 from repro.analysis.experiments import run_table1_package_cstates
 from repro.analysis.reporting import format_table
-from repro.core.darkgates import baseline_system, darkgates_system
+from repro.core.spec import get_spec
 from repro.pmu.cstates import PackageCState
 
 
 def test_table1_package_cstates(benchmark):
     rows = benchmark(run_table1_package_cstates)
 
-    darkgates = darkgates_system(91.0)
-    baseline = baseline_system(91.0)
+    darkgates = get_spec("darkgates", tdp_w=91.0).build()
+    baseline = get_spec("baseline", tdp_w=91.0).build()
     power_rows = []
     for state in darkgates.cstate_model.idle_states():
         if state.depth > 8:

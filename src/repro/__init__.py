@@ -89,6 +89,18 @@ from repro.sim.metrics import (
     RunResult,
     TransientRunResult,
 )
+from repro.variation import (
+    BinningPolicy,
+    DiePopulation,
+    DiePopulationSampler,
+    DieVariation,
+    ParameterVariation,
+    PopulationResult,
+    PopulationStudy,
+    VariationModel,
+    skylake_binning_policy,
+    skylake_process_variation,
+)
 from repro.workloads.descriptors import Workload
 from repro.workloads.energy import energy_star_scenario, rmt_scenario
 from repro.workloads.graphics import three_dmark_suite
@@ -134,5 +146,15 @@ __all__ = [
     "spec_cpu2006_base_suite",
     "spec_cpu2006_rate_suite",
     "spec_cpu2006_suite",
+    "ParameterVariation",
+    "VariationModel",
+    "skylake_process_variation",
+    "DieVariation",
+    "DiePopulation",
+    "DiePopulationSampler",
+    "BinningPolicy",
+    "skylake_binning_policy",
+    "PopulationStudy",
+    "PopulationResult",
     "__version__",
 ]

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
+from repro.soc.skus import SKU_DESCRIPTIONS, SkuDescription
 
 
 def format_table(
@@ -49,6 +50,53 @@ def format_table(
 def format_percent(value: float, decimals: int = 1) -> str:
     """Format a fraction as a percentage string."""
     return f"{value * 100:.{decimals}f}%"
+
+
+def format_sku_table(
+    descriptions: Optional[Sequence[SkuDescription]] = None,
+    title: str = "Evaluated SKUs",
+) -> str:
+    """Render datasheet rows of the SKU registry as a text table.
+
+    Defaults to every entry of :data:`~repro.soc.skus.SKU_DESCRIPTIONS`
+    (the paper's Table 2 parts plus the Broadwell motivation part); pass an
+    explicit sequence to render a subset — for example the output of
+    :func:`~repro.soc.skus.sku_descriptions`.
+    """
+    rows = []
+    for entry in (
+        descriptions if descriptions is not None else SKU_DESCRIPTIONS.values()
+    ):
+        rows.append(
+            [
+                entry.name,
+                entry.segment,
+                entry.package,
+                entry.core_count,
+                f"{entry.core_frequency_range_ghz[0]:g}-"
+                f"{entry.core_frequency_range_ghz[1]:g} GHz",
+                f"{entry.graphics_frequency_range_mhz[0]:.0f}-"
+                f"{entry.graphics_frequency_range_mhz[1]:.0f} MHz",
+                f"{entry.llc_mb:g} MB",
+                f"{entry.tdp_range_w[0]:.0f}-{entry.tdp_range_w[1]:.0f} W",
+                f"{entry.process_nm} nm",
+            ]
+        )
+    return format_table(
+        [
+            "SKU",
+            "segment",
+            "package",
+            "cores",
+            "core freq",
+            "gfx freq",
+            "LLC",
+            "TDP",
+            "process",
+        ],
+        rows,
+        title=title,
+    )
 
 
 def _format_cell(value: object) -> str:

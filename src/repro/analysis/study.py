@@ -37,6 +37,7 @@ import os
 from concurrent import futures
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -55,6 +56,12 @@ from repro.common.errors import ConfigurationError
 from repro.core.spec import SystemSpec, build_engine, resolve_spec
 from repro.sim.metrics import RunResult
 from repro.workloads.descriptors import Workload
+
+if TYPE_CHECKING:
+    from repro.pdn.transients import LoadTrace  # noqa: F401  (signature refs)
+    from repro.variation.distributions import VariationModel  # noqa: F401
+    from repro.variation.population import PopulationStudy  # noqa: F401
+    from repro.workloads.dynamics import DynamicScenario  # noqa: F401
 
 #: The default suite name used when a study is given a flat workload list.
 DEFAULT_SUITE = "default"
@@ -203,8 +210,8 @@ def resolve_executor(
         return factory()
     if not hasattr(executor, "run_tasks"):
         raise ConfigurationError(
-            f"executor must be 'serial', 'process', or expose run_tasks(); "
-            f"got {type(executor).__name__}"
+            f"executor must be one of {sorted(_EXECUTORS)} or expose "
+            f"run_tasks(); got {type(executor).__name__}"
         )
     return executor
 
@@ -233,6 +240,9 @@ class StudyResult:
 
     name: str
     cells: Tuple[StudyCell, ...]
+    #: Seed of the study's stochastic paths (``None`` for deterministic
+    #: studies); recorded in the JSON payload so runs can be replayed.
+    seed: Optional[int] = None
     _index: Dict[Tuple[Optional[SystemSpec], str, str], Any] = field(
         init=False, repr=False, compare=False, default=None
     )
@@ -309,7 +319,7 @@ class StudyResult:
         objects); callable-task values must themselves be JSON-encodable,
         and tuples inside them come back as lists.
         """
-        payload = {
+        payload: Dict[str, Any] = {
             "name": self.name,
             "cells": [
                 {
@@ -328,6 +338,8 @@ class StudyResult:
                 for cell in self.cells
             ],
         }
+        if self.seed is not None:
+            payload["seed"] = self.seed
         try:
             return json.dumps(payload, indent=indent)
         except TypeError as error:
@@ -363,7 +375,9 @@ class StudyResult:
                     value=value,
                 )
             )
-        return cls(name=payload["name"], cells=tuple(cells))
+        return cls(
+            name=payload["name"], cells=tuple(cells), seed=payload.get("seed")
+        )
 
 
 # -- the study runner ------------------------------------------------------------------
@@ -392,6 +406,12 @@ class Study:
     cache:
         Mapping of task -> result shared between runs (and, if passed to
         several studies, between studies).  Defaults to a fresh dict.
+    seed:
+        Seed for the study's stochastic paths, threaded as a
+        :class:`numpy.random.Generator` seed through whatever stochastic
+        tasks the study runs (population sampling today) and recorded in
+        the result JSON.  ``None`` (the default) marks a deterministic
+        study.
     name:
         Study name used in reports.
     """
@@ -405,6 +425,7 @@ class Study:
         executor: Union[str, Executor] = "serial",
         max_workers: Optional[int] = None,
         cache: Optional[MutableMapping[StudyTask, Any]] = None,
+        seed: Optional[int] = None,
         name: str = "study",
     ) -> None:
         self._name = name
@@ -415,6 +436,7 @@ class Study:
         self._cache: MutableMapping[StudyTask, Any] = (
             cache if cache is not None else {}
         )
+        self._seed = seed
         self._tasks_executed = 0
         self._grid = self._build_grid()
 
@@ -482,6 +504,11 @@ class Study:
         return self._cache
 
     @property
+    def seed(self) -> Optional[int]:
+        """Seed of the study's stochastic paths (``None`` == deterministic)."""
+        return self._seed
+
+    @property
     def tasks_executed(self) -> int:
         """Cumulative number of tasks actually executed (cache misses)."""
         return self._tasks_executed
@@ -517,7 +544,7 @@ class Study:
             )
             for suite, workload_name, task in self._grid
         )
-        return StudyResult(name=self._name, cells=cells)
+        return StudyResult(name=self._name, cells=cells, seed=self._seed)
 
     # -- construction helpers ----------------------------------------------------------
 
@@ -600,3 +627,39 @@ class Study:
                 spec.variant(tdp_w=tdp) for tdp in tdp_levels_w for spec in resolved
             ]
         return cls(resolved, {suite: list(scenarios)}, **kwargs)
+
+    @classmethod
+    def over_population(
+        cls,
+        specs: Sequence[Union[SystemSpec, str]],
+        scenarios: Sequence["DynamicScenario"],
+        variations: "VariationModel",
+        count: int,
+        tdp_levels_w: Optional[Iterable[float]] = None,
+        **kwargs: Any,
+    ) -> "PopulationStudy":
+        """A process-variation Monte Carlo sweep: specs x TDPs x scenarios x dice.
+
+        Samples *count* dice from *variations* (seeded — pass ``seed=`` to
+        pin the draw; it is recorded in the result) and steps every die
+        through every (spec variant, scenario) cell.  By default each cell
+        runs the whole population in lockstep on the batched fast path;
+        ``method="reference"`` expands to one engine task per die instead.
+        Returns a :class:`~repro.variation.population.PopulationStudy`
+        whose :meth:`~repro.variation.population.PopulationStudy.run`
+        yields a JSON-round-tripping
+        :class:`~repro.variation.population.PopulationResult` (percentile
+        traces, per-die summaries, SKU-bin yields).
+        """
+        from repro.variation.population import PopulationStudy
+
+        return PopulationStudy(
+            specs,
+            scenarios,
+            variations,
+            count,
+            tdp_levels_w=(
+                tuple(tdp_levels_w) if tdp_levels_w is not None else None
+            ),
+            **kwargs,
+        )

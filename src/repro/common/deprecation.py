@@ -1,0 +1,35 @@
+"""Shared deprecation plumbing.
+
+Every deprecated shim in the library warns through :func:`warn_deprecated`,
+so the message format is uniform, the warning category is always
+:class:`DeprecationWarning`, and the stacklevel lands on the *caller* of
+the shim rather than the shim itself.  Tests assert these warnings
+(``pytest.warns``), which makes the deprecations enforceable: a shim that
+stops warning — or a caller inside the library that still uses one — fails
+the suite instead of silently lingering.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the library's standard deprecation warning.
+
+    Parameters
+    ----------
+    old:
+        The deprecated call, as the caller wrote it (e.g.
+        ``"darkgates_system()"``).
+    new:
+        The replacement the caller should migrate to.
+    stacklevel:
+        Frames between this helper and the user's call site; the default of
+        3 fits the usual shim -> helper nesting.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -23,24 +23,16 @@ Three configurations appear in the evaluation:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from repro.common.deprecation import warn_deprecated
 from repro.common.errors import ConfigurationError
 from repro.core.spec import get_spec
 from repro.pmu.pcode import Pcode
 from repro.sim.engine import SimulationEngine
 from repro.sim.metrics import CpuRunResult, EnergyRunResult, GraphicsRunResult
 from repro.workloads.descriptors import CpuWorkload, EnergyScenario, GraphicsWorkload
-
-
-def _warn_deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 def darkgates_system(
@@ -51,7 +43,7 @@ def darkgates_system(
     .. deprecated:: 1.1
        Use ``get_spec("darkgates").variant(tdp_w=...).build()`` instead.
     """
-    _warn_deprecated(
+    warn_deprecated(
         "darkgates_system()",
         'get_spec("darkgates").variant(tdp_w=...).build()',
     )
@@ -71,7 +63,7 @@ def darkgates_c7_limited_system(tdp_w: float = 91.0) -> Pcode:
     .. deprecated:: 1.1
        Use ``get_spec("darkgates+c7").variant(tdp_w=...).build()`` instead.
     """
-    _warn_deprecated(
+    warn_deprecated(
         "darkgates_c7_limited_system()",
         'get_spec("darkgates+c7").variant(tdp_w=...).build()',
     )
@@ -84,7 +76,7 @@ def baseline_system(tdp_w: float = 91.0) -> Pcode:
     .. deprecated:: 1.1
        Use ``get_spec("baseline").variant(tdp_w=...).build()`` instead.
     """
-    _warn_deprecated(
+    warn_deprecated(
         "baseline_system()",
         'get_spec("baseline").variant(tdp_w=...).build()',
     )

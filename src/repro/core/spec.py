@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
 from functools import lru_cache
-from typing import Any, Callable, Dict, Mapping, Tuple, Union
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_positive
@@ -36,6 +36,7 @@ from repro.reliability.guardband import ReliabilityGuardbandModel
 from repro.sim.engine import SimulationEngine
 from repro.soc.processor import Processor
 from repro.soc.skus import broadwell_desktop, skylake_h_mobile, skylake_s_desktop
+from repro.variation.sampler import DieVariation
 
 #: SKU name -> builder of the corresponding processor at a TDP level.
 SKU_BUILDERS: Dict[str, Callable[[float], Processor]] = {
@@ -70,6 +71,11 @@ class SystemSpec:
     guardband_offset_v:
         Flat offset added to the PDN guardband (the Fig. 3 motivation
         experiment uses -0.100 V); 0 leaves the guardband untouched.
+    die_variation:
+        Optional :class:`~repro.variation.sampler.DieVariation` describing
+        a specific (non-nominal) die of this SKU; ``None`` builds the
+        nominal part.  Population samplers materialise their reference
+        path as one variant per sampled die through this field.
     """
 
     name: str
@@ -80,6 +86,7 @@ class SystemSpec:
     deepest_package_cstate: str = "C8"
     apply_reliability_guardband: bool = True
     guardband_offset_v: float = 0.0
+    die_variation: Optional[DieVariation] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -89,6 +96,10 @@ class SystemSpec:
                 f"unknown sku {self.sku!r}; known: {sorted(SKU_BUILDERS)}"
             )
         ensure_positive(self.tdp_w, "tdp_w")
+        if isinstance(self.die_variation, Mapping):
+            object.__setattr__(
+                self, "die_variation", DieVariation.from_dict(self.die_variation)
+            )
         if isinstance(self.power_delivery, str):
             try:
                 mode = PowerDeliveryMode(self.power_delivery)
@@ -143,6 +154,11 @@ class SystemSpec:
     def build(self) -> Pcode:
         """Assemble the firmware-configured system this spec describes."""
         processor = SKU_BUILDERS[self.sku](self.tdp_w)
+        if self.die_variation is not None:
+            processor = replace(
+                processor,
+                thermal_resistance_scale=self.die_variation.thermal_resistance_scale,
+            )
         margin = self.reliability_margin_v()
         guardband_model = None
         if self.guardband_offset_v != 0.0:
@@ -158,6 +174,7 @@ class SystemSpec:
             fuses=self.fuses(),
             reliability_margin_v=margin,
             guardband_model=guardband_model,
+            die_variation=self.die_variation,
         )
 
     # -- serialisation -----------------------------------------------------------------
@@ -173,6 +190,11 @@ class SystemSpec:
             "deepest_package_cstate": self.deepest_package_cstate,
             "apply_reliability_guardband": self.apply_reliability_guardband,
             "guardband_offset_v": self.guardband_offset_v,
+            "die_variation": (
+                self.die_variation.to_dict()
+                if self.die_variation is not None
+                else None
+            ),
         }
 
     @classmethod

@@ -17,10 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.soc.processor import Processor
+
+if TYPE_CHECKING:
+    from repro.variation.sampler import DieVariation
 
 
 class PackageCState(Enum):
@@ -182,6 +187,12 @@ class PackageCStateModel:
     platform_floor_w:
         Always-on power attributed to the processor in any idle state
         (always-on VR rail, wake logic).
+    die_variation:
+        Optional :class:`~repro.variation.sampler.DieVariation` of the
+        specific die; when set, :meth:`power_w` routes through the varied
+        leakage arithmetic (:meth:`varied_power_w`) so a die's leakage
+        corner and ``kt`` shift show up in its idle power exactly as the
+        population fast path computes them.
     """
 
     def __init__(
@@ -193,6 +204,7 @@ class PackageCStateModel:
         vr_on_overhead_w: float = 0.05,
         vr_off_wake_assist_w: float = 0.11,
         platform_floor_w: float = 0.07,
+        die_variation: Optional["DieVariation"] = None,
     ) -> None:
         if retention_voltage_v <= 0:
             raise ConfigurationError("retention_voltage_v must be positive")
@@ -203,6 +215,7 @@ class PackageCStateModel:
         self._vr_on_overhead_w = vr_on_overhead_w
         self._vr_off_wake_assist_w = vr_off_wake_assist_w
         self._platform_floor_w = platform_floor_w
+        self._die_variation = die_variation
 
     # -- per-state power -----------------------------------------------------------------
 
@@ -227,7 +240,64 @@ class PackageCStateModel:
 
     def power_w(self, state: PackageCState) -> float:
         """Total package power at idle *state*."""
+        if self._die_variation is not None:
+            return float(
+                self.varied_power_w(
+                    state,
+                    self._die_variation.leakage_scale,
+                    self._die_variation.leakage_kt_delta_per_c,
+                )
+            )
         return self.breakdown(state).total_w
+
+    # -- die variation -----------------------------------------------------------------
+
+    def varied_power_w(
+        self,
+        state: PackageCState,
+        leakage_scale: Union[float, np.ndarray],
+        kt_delta_per_c: Union[float, np.ndarray],
+    ) -> Union[float, np.ndarray]:
+        """Package power at idle *state* for one or many varied dice.
+
+        The knobs may be scalars (one die) or arrays (a population): the
+        same element-wise expressions evaluate either way, so the per-die
+        reference path and the population fast path agree bit for bit.
+        Only the core-leakage component varies; uncore, VR overhead and the
+        platform floor are die-independent, and the summation order mirrors
+        :meth:`CStatePowerBreakdown.total_w`.
+        """
+        if state is PackageCState.C0:
+            raise ConfigurationError(
+                "package C0 is an active state; use the DVFS/PBM models for it"
+            )
+        leakage = self._varied_cores_leakage_w(state, leakage_scale, kt_delta_per_c)
+        uncore = self._processor.die.uncore.package_idle_power_w(state.value)
+        vr_overhead = (
+            self._vr_on_overhead_w if state.core_vr_on else self._vr_off_wake_assist_w
+        )
+        return leakage + uncore + vr_overhead + self._platform_floor_w
+
+    def _varied_cores_leakage_w(
+        self,
+        state: PackageCState,
+        leakage_scale: Union[float, np.ndarray],
+        kt_delta_per_c: Union[float, np.ndarray],
+    ) -> Union[float, np.ndarray]:
+        if not state.core_vr_on:
+            # Core VR off: unpowered cores leak nothing, whatever the die.
+            return leakage_scale * 0.0
+        total: Union[float, np.ndarray] = 0.0
+        for core in self._processor.die.cores:
+            contribution = core.leakage.base_power_w(
+                self._retention_voltage_v
+            ) * core.leakage.temperature_factor(
+                self._idle_temperature_c, kt_delta_per_c
+            )
+            if not self._bypass_mode:
+                contribution = contribution * core.power_gate.residual_leakage_fraction
+            total = total + contribution
+        return total * leakage_scale
 
     def _cores_leakage_w(self, state: PackageCState) -> float:
         if not state.core_vr_on:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -26,6 +26,9 @@ from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_in_range
 from repro.pmu.vf_curve import VfCurve
 from repro.soc.processor import Processor
+
+if TYPE_CHECKING:
+    from repro.variation.sampler import DieVariation
 
 
 class LimitingFactor(Enum):
@@ -106,9 +109,65 @@ class OperatingPoint:
         return self.frequency_hz / 1e9
 
 
-#: Leakage contributions sharing one exponential temperature law:
-#: (kt, reference temperature, per-bin leakage at the reference temperature).
-LeakageGroup = Tuple[float, float, np.ndarray]
+#: Leakage contributions sharing one exponential law: (kt, reference
+#: temperature, kv, per-bin leakage at the reference temperature).  The
+#: voltage coefficient ``kv`` rides along so die variation can re-reference
+#: the group to a shifted rail voltage without rebuilding it from models.
+LeakageGroup = Tuple[float, float, float, np.ndarray]
+
+#: Per-core current the power-gate IR-drop guardband is sized for (matches
+#: the guardband model's ``per_core_virus_current_a`` default: the gate
+#: carries only its own core's worst-case current).
+POWER_GATE_GUARDBAND_CURRENT_A = 30.0
+
+#: Scalar-or-array knob values: the same transforms serve one die (floats)
+#: and a stacked population (arrays), element for element.
+Knob = Union[float, np.ndarray]
+
+
+def die_voltage_offsets(
+    vf_offset_v: Knob,
+    powergate_resistance_scale: Knob,
+    gate_resistance_ohm: float,
+    bypass_mode: bool,
+) -> Tuple[Knob, Knob]:
+    """Per-die voltage offsets ``(vr, power)`` implied by the silicon knobs.
+
+    The V/F offset shifts both the VR programming voltage and the effective
+    silicon voltage used for power.  On a gated part, power-gate resistance
+    above nominal additionally costs IR-drop guardband on the VR side (the
+    drop is dissipated in the gate, not seen by the silicon); a bypassed
+    part has no gate in the supply path and is immune.
+
+    Accepts scalars (one die) or arrays (a population) and evaluates the
+    same expression either way, so both paths agree bit for bit.
+    """
+    if bypass_mode:
+        return vf_offset_v, vf_offset_v
+    extra = (
+        (powergate_resistance_scale - 1.0) * gate_resistance_ohm
+    ) * POWER_GATE_GUARDBAND_CURRENT_A
+    return vf_offset_v + extra, vf_offset_v
+
+
+def _varied_reference_w(
+    reference_w: np.ndarray,
+    voltage_ratio: np.ndarray,
+    kv: float,
+    power_offset_v: Knob,
+    leakage_scale: Knob,
+) -> np.ndarray:
+    """One leakage group's reference power re-referenced to a varied die.
+
+    The leakage law is ``P_ref * (V / V_ref) * exp(kv * (V - V_ref))`` (the
+    temperature term is 1 at the group's reference temperature), so a rail
+    shifted by ``dv`` scales the bin by ``(V' / V) * exp(kv * dv)``; the
+    die's leakage corner multiplies on top.  Shared verbatim by the scalar
+    (per-die) and stacked (population) paths.
+    """
+    return (reference_w * (voltage_ratio * np.exp(kv * power_offset_v))) * (
+        leakage_scale
+    )
 
 
 @dataclass(frozen=True)
@@ -134,37 +193,103 @@ class CandidateTable:
     graphics_idle_power_w: float
     vmax_ok: np.ndarray
     iccmax_ok: np.ndarray
+    vmax_v: float
 
     # -- temperature-dependent power ---------------------------------------------------
 
     @staticmethod
     def _groups_power_w(
-        groups: Tuple[LeakageGroup, ...], temperature_c: float
+        groups: Tuple[LeakageGroup, ...], temperature_c: Union[float, np.ndarray]
     ) -> np.ndarray:
         total = 0.0
-        for kt, reference_c, reference_w in groups:
+        for kt, reference_c, _kv, reference_w in groups:
             total = total + reference_w * np.exp(kt * (temperature_c - reference_c))
         return total
 
-    def active_cores_power_w(self, temperature_c: float) -> np.ndarray:
+    def active_cores_power_w(
+        self, temperature_c: Union[float, np.ndarray]
+    ) -> np.ndarray:
         """Per-bin power of the active cores at *temperature_c*."""
         return self.active_dynamic_w + self._groups_power_w(
             self.active_leakage_groups, temperature_c
         )
 
-    def idle_cores_power_w(self, temperature_c: float) -> np.ndarray:
+    def idle_cores_power_w(
+        self, temperature_c: Union[float, np.ndarray]
+    ) -> np.ndarray:
         """Per-bin power of the idle cores at *temperature_c*."""
         return np.zeros_like(self.frequencies_hz) + self._groups_power_w(
             self.idle_leakage_groups, temperature_c
         )
 
-    def package_power_w(self, temperature_c: float) -> np.ndarray:
-        """Per-bin package power at *temperature_c*."""
+    def package_power_w(
+        self, temperature_c: Union[float, np.ndarray]
+    ) -> np.ndarray:
+        """Per-bin package power at *temperature_c*.
+
+        *temperature_c* may be a scalar or a per-bin array (the sustained
+        fixed-point resolver evaluates each bin at its own temperature).
+        """
         return (
             self.active_cores_power_w(temperature_c)
             + self.idle_cores_power_w(temperature_c)
             + self.uncore_power_w
             + self.graphics_idle_power_w
+        )
+
+    # -- die variation -----------------------------------------------------------------
+
+    def varied(
+        self,
+        *,
+        leakage_scale: float = 1.0,
+        kt_delta_per_c: float = 0.0,
+        vr_offset_v: float = 0.0,
+        power_offset_v: float = 0.0,
+    ) -> "CandidateTable":
+        """This table re-referenced to one varied die.
+
+        Every effect is an element-wise transform of the nominal arrays —
+        voltage columns shift, dynamic power scales with the squared
+        voltage ratio, leakage groups re-reference through
+        :func:`_varied_reference_w` and shift their ``kt`` — using exactly
+        the expressions :meth:`StackedCandidateTables.from_population`
+        evaluates over a whole population, so a per-die table and a
+        population row are bit-identical.  Iccmax verdicts are kept at the
+        nominal silicon (the EDC limit is a VR property, not a die one).
+        """
+        power_voltages = self.power_voltages_v + power_offset_v
+        voltage_ratio = power_voltages / self.power_voltages_v
+        vr_voltages = self.vr_voltages_v + vr_offset_v
+
+        def groups(
+            nominal: Tuple[LeakageGroup, ...],
+        ) -> Tuple[LeakageGroup, ...]:
+            return tuple(
+                (
+                    kt + kt_delta_per_c,
+                    reference_c,
+                    kv,
+                    _varied_reference_w(
+                        reference_w, voltage_ratio, kv, power_offset_v,
+                        leakage_scale,
+                    ),
+                )
+                for kt, reference_c, kv, reference_w in nominal
+            )
+
+        return CandidateTable(
+            frequencies_hz=self.frequencies_hz,
+            vr_voltages_v=vr_voltages,
+            power_voltages_v=power_voltages,
+            active_dynamic_w=self.active_dynamic_w * (voltage_ratio * voltage_ratio),
+            active_leakage_groups=groups(self.active_leakage_groups),
+            idle_leakage_groups=groups(self.idle_leakage_groups),
+            uncore_power_w=self.uncore_power_w,
+            graphics_idle_power_w=self.graphics_idle_power_w,
+            vmax_ok=vr_voltages <= self.vmax_v + 1e-9,
+            iccmax_ok=self.iccmax_ok,
+            vmax_v=self.vmax_v,
         )
 
     # -- selection ---------------------------------------------------------------------
@@ -290,7 +415,9 @@ class StackedCandidateTables:
             reference_c = np.zeros((count, capacity), dtype=float)
             reference_w = np.zeros((count, capacity, bins), dtype=float)
             for i, groups in enumerate(laws):
-                for g, (group_kt, group_ref_c, group_ref_w) in enumerate(groups):
+                for g, (group_kt, group_ref_c, _kv, group_ref_w) in enumerate(
+                    groups
+                ):
                     kt[i, g] = group_kt
                     reference_c[i, g] = group_ref_c
                     reference_w[i, g, : len(group_ref_w)] = group_ref_w
@@ -326,8 +453,105 @@ class StackedCandidateTables:
             bin_counts=np.array([len(t.frequencies_hz) for t in tables]),
         )
 
+    @classmethod
+    def from_population(
+        cls,
+        table: CandidateTable,
+        *,
+        leakage_scale: np.ndarray,
+        kt_delta_per_c: np.ndarray,
+        vr_offset_v: np.ndarray,
+        power_offset_v: np.ndarray,
+    ) -> "StackedCandidateTables":
+        """One nominal table expanded to a population: one row per die.
+
+        This is the fast-path injection point: the per-die knob arrays are
+        applied as vectorized transforms of the nominal table's bin arrays
+        — the same element-wise expressions :meth:`CandidateTable.varied`
+        evaluates for one die — with no per-die Python objects.  Rows need
+        no padding (every die shares the nominal bin count and leakage
+        laws), so die ``i`` is exactly row ``i``.
+        """
+        count = len(np.asarray(leakage_scale))
+        bins = len(table.frequencies_hz)
+        scale = np.asarray(leakage_scale, dtype=float)[:, None]
+        kt_delta = np.asarray(kt_delta_per_c, dtype=float)
+        vr_offset = np.asarray(vr_offset_v, dtype=float)[:, None]
+        power_offset = np.asarray(power_offset_v, dtype=float)[:, None]
+
+        power_voltages = table.power_voltages_v + power_offset
+        voltage_ratio = power_voltages / table.power_voltages_v
+        vr_voltages = table.vr_voltages_v + vr_offset
+
+        def stacked_groups(
+            nominal: Tuple[LeakageGroup, ...],
+        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+            groups = max(1, len(nominal))
+            kt = np.zeros((count, groups), dtype=float)
+            reference_c = np.zeros((count, groups), dtype=float)
+            reference_w = np.zeros((count, groups, bins), dtype=float)
+            for g, (group_kt, group_ref_c, kv, group_ref_w) in enumerate(nominal):
+                kt[:, g] = group_kt + kt_delta
+                reference_c[:, g] = group_ref_c
+                reference_w[:, g, :] = _varied_reference_w(
+                    group_ref_w, voltage_ratio, kv, power_offset, scale
+                )
+            return kt, reference_c, reference_w
+
+        active_kt, active_ref_c, active_ref_w = stacked_groups(
+            table.active_leakage_groups
+        )
+        idle_kt, idle_ref_c, idle_ref_w = stacked_groups(table.idle_leakage_groups)
+        return cls(
+            frequencies_hz=np.broadcast_to(table.frequencies_hz, (count, bins)),
+            active_dynamic_w=table.active_dynamic_w
+            * (voltage_ratio * voltage_ratio),
+            uncore_power_w=np.full(count, table.uncore_power_w),
+            graphics_idle_power_w=np.full(count, table.graphics_idle_power_w),
+            active_kt=active_kt,
+            active_reference_c=active_ref_c,
+            active_reference_w=active_ref_w,
+            idle_kt=idle_kt,
+            idle_reference_c=idle_ref_c,
+            idle_reference_w=idle_ref_w,
+            vmax_ok=vr_voltages <= table.vmax_v + 1e-9,
+            iccmax_ok=np.broadcast_to(table.iccmax_ok, (count, bins)),
+            bin_counts=np.full(count, bins),
+        )
+
     def __len__(self) -> int:
         return len(self.bin_counts)
+
+    def population_package_power_w(self, temperature_c: np.ndarray) -> np.ndarray:
+        """Per-bin package power of every row at row-wise temperatures.
+
+        *temperature_c* is ``(rows, bins)`` — each row's bins may sit at
+        their own temperatures, which is what the sustained fixed-point
+        resolver iterates.  Accumulation mirrors
+        :meth:`CandidateTable.package_power_w` term for term.
+        """
+        t = temperature_c
+
+        def groups_power(
+            kt: np.ndarray, reference_c: np.ndarray, reference_w: np.ndarray
+        ) -> np.ndarray:
+            total = 0.0
+            for g in range(reference_w.shape[1]):
+                total = total + reference_w[:, g] * np.exp(
+                    kt[:, g, None] * (t - reference_c[:, g, None])
+                )
+            return total
+
+        active = self.active_dynamic_w + groups_power(
+            self.active_kt, self.active_reference_c, self.active_reference_w
+        )
+        idle = np.zeros_like(self.frequencies_hz) + groups_power(
+            self.idle_kt, self.idle_reference_c, self.idle_reference_w
+        )
+        return (
+            active + idle + self.uncore_power_w[:, None]
+            + self.graphics_idle_power_w[:, None]
+        )
 
     # -- vectorized per-run power ------------------------------------------------------
 
@@ -424,6 +648,67 @@ class StackedCandidateTables:
         return index, limiting
 
 
+def resolve_sustained_bins(
+    package_power_at: Callable[[np.ndarray], np.ndarray],
+    vmax_ok: np.ndarray,
+    iccmax_ok: np.ndarray,
+    tdp_w: float,
+    resistance_c_per_w: Union[float, np.ndarray],
+    ambient_c: float,
+    tjmax_c: float,
+    start_temperature_c: float = 60.0,
+    iterations: int = 3,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sustained (TDP-table) bins of a ``(rows, bins)`` candidate grid.
+
+    Replicates :meth:`DvfsPolicy.resolve`'s semantics on table arrays:
+    every bin runs the power/temperature fixed point (``iterations`` steps
+    from ``start_temperature_c``, the junction clamped at Tjmax), the
+    highest bin satisfying Vmax, TDP and Iccmax at its own fixed point
+    wins, and the reported limit is whatever stops the next bin up
+    (``FREQUENCY_GRID`` at the top; an infeasible grid reports bin 0 with
+    the first limit it violates, checked Vmax, then power, then Iccmax).
+
+    Shared by the per-die reference path (one row) and the population fast
+    path (one row per die): both feed the same element-wise arithmetic, so
+    the sustained bins agree bit for bit.  Returns ``(bin index, limiting
+    code, fixed-point power, fixed-point temperature)``; the latter two are
+    per-bin arrays.
+    """
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    temperature = np.full(vmax_ok.shape, start_temperature_c, dtype=float)
+    for _ in range(iterations):
+        power = package_power_at(temperature)
+        temperature = np.minimum(tjmax_c, ambient_c + resistance_c_per_w * power)
+    power_ok = power <= tdp_w + 1e-9
+    allowed = vmax_ok & iccmax_ok & power_ok
+    any_allowed = allowed.any(axis=-1)
+    bins = allowed.shape[-1]
+    top = bins - 1 - np.argmax(allowed[..., ::-1], axis=-1)
+    index = np.where(any_allowed, top, 0)
+    probe = np.where(any_allowed, np.minimum(index + 1, bins - 1), 0)
+
+    def at_probe(mask: np.ndarray) -> np.ndarray:
+        return np.take_along_axis(mask, probe[..., None], axis=-1)[..., 0]
+
+    limiting = np.select(
+        [~at_probe(vmax_ok), ~at_probe(power_ok), ~at_probe(iccmax_ok)],
+        [
+            LIMITING_FACTOR_CODES[LimitingFactor.VMAX],
+            LIMITING_FACTOR_CODES[LimitingFactor.TDP],
+            LIMITING_FACTOR_CODES[LimitingFactor.ICCMAX],
+        ],
+        default=LIMITING_FACTOR_CODES[LimitingFactor.NONE],
+    )
+    limiting = np.where(
+        any_allowed & (index == bins - 1),
+        LIMITING_FACTOR_CODES[LimitingFactor.FREQUENCY_GRID],
+        limiting,
+    )
+    return index, limiting, power, temperature
+
+
 class DvfsPolicy:
     """Resolves CPU operating points for a processor and V/F curve.
 
@@ -440,6 +725,14 @@ class DvfsPolicy:
         Power attributed to the (idle) graphics engine during CPU workloads.
     thermal_iterations:
         Fixed-point iterations of the power/temperature loop.
+    die_variation:
+        Optional :class:`~repro.variation.sampler.DieVariation` of the
+        specific die this policy drives.  When set, candidate tables are
+        built nominally and re-referenced through
+        :meth:`CandidateTable.varied`, and :meth:`resolve` runs the
+        table-based sustained fixed point — the exact arithmetic the
+        population fast path vectorizes, so one varied die resolves
+        identically whether it runs alone or inside a population.
     """
 
     def __init__(
@@ -449,6 +742,7 @@ class DvfsPolicy:
         bypass_mode: bool,
         graphics_idle_power_w: float = 0.05,
         thermal_iterations: int = 3,
+        die_variation: Optional["DieVariation"] = None,
     ) -> None:
         if thermal_iterations < 1:
             raise ConfigurationError("thermal_iterations must be >= 1")
@@ -458,6 +752,7 @@ class DvfsPolicy:
         self._graphics_idle_power_w = graphics_idle_power_w
         self._thermal_iterations = thermal_iterations
         self._thermal_model = processor.thermal_model()
+        self._die_variation = die_variation
         self._candidate_tables: Dict[CpuDemand, CandidateTable] = {}
 
     # -- public API -----------------------------------------------------------------------
@@ -467,6 +762,11 @@ class DvfsPolicy:
         """The V/F curve this policy resolves against."""
         return self._vf_curve
 
+    @property
+    def die_variation(self) -> Optional["DieVariation"]:
+        """The die variation this policy is re-referenced to (if any)."""
+        return self._die_variation
+
     def resolve(self, demand: CpuDemand) -> OperatingPoint:
         """Highest-performance operating point satisfying every limit."""
         if demand.active_cores > self._processor.core_count:
@@ -474,6 +774,8 @@ class DvfsPolicy:
                 f"demand asks for {demand.active_cores} cores but the processor "
                 f"has {self._processor.core_count}"
             )
+        if self._die_variation is not None:
+            return self._resolve_varied(demand)
         grid = self._vf_curve.frequency_grid
         chosen: Optional[OperatingPoint] = None
         limiting = LimitingFactor.FREQUENCY_GRID
@@ -538,6 +840,20 @@ class DvfsPolicy:
         table = self._candidate_tables.get(demand)
         if table is None:
             table = self._build_candidate_table(demand)
+            if self._die_variation is not None:
+                variation = self._die_variation
+                vr_offset, power_offset = die_voltage_offsets(
+                    variation.vf_offset_v,
+                    variation.powergate_resistance_scale,
+                    self._processor.die.cores[0].power_gate.on_resistance_ohm,
+                    self._bypass_mode,
+                )
+                table = table.varied(
+                    leakage_scale=variation.leakage_scale,
+                    kt_delta_per_c=variation.leakage_kt_delta_per_c,
+                    vr_offset_v=vr_offset,
+                    power_offset_v=power_offset,
+                )
             self._candidate_tables[demand] = table
         return table
 
@@ -558,6 +874,33 @@ class DvfsPolicy:
         table = self.candidate_table(demand)
         index, limiting = table.select(limit, temperature_c)
         return table.operating_point(index, temperature_c, limiting)
+
+    def _resolve_varied(self, demand: CpuDemand) -> OperatingPoint:
+        """Sustained operating point of a varied die, from its table.
+
+        Runs the shared table-based fixed point
+        (:func:`resolve_sustained_bins`) on the die's varied candidate
+        table — one-row usage of the arithmetic the population fast path
+        vectorizes.
+        """
+        table = self.candidate_table(demand)
+        limits = self._thermal_model.limits
+        index, code, power, temperature = resolve_sustained_bins(
+            lambda t: table.package_power_w(t[0])[None, :],
+            table.vmax_ok[None, :],
+            table.iccmax_ok[None, :],
+            self._processor.tdp_w,
+            self._thermal_model.thermal_resistance_c_per_w,
+            limits.ambient_c,
+            limits.tjmax_c,
+            iterations=self._thermal_iterations,
+        )
+        bin_index = int(index[0])
+        return table.operating_point(
+            bin_index,
+            float(temperature[0, bin_index]),
+            LIMITING_FACTOR_ORDER[int(code[0])],
+        )
 
     def _build_candidate_table(self, demand: CpuDemand) -> CandidateTable:
         die = self._processor.die
@@ -586,12 +929,13 @@ class DvfsPolicy:
             ]
         )
         gated = not self._bypass_mode
-        active_groups: Dict[Tuple[float, float], np.ndarray] = {}
-        idle_groups: Dict[Tuple[float, float], np.ndarray] = {}
+        active_groups: Dict[Tuple[float, float, float], np.ndarray] = {}
+        idle_groups: Dict[Tuple[float, float, float], np.ndarray] = {}
         for core in active_cores:
             law = (
                 core.leakage.temperature_sensitivity_per_c,
                 core.leakage.reference_temperature_c,
+                core.leakage.voltage_sensitivity_per_v,
             )
             reference = np.array(
                 [core.leakage.power_w(voltage, law[1]) for voltage in power_voltages]
@@ -601,6 +945,7 @@ class DvfsPolicy:
             law = (
                 core.leakage.temperature_sensitivity_per_c,
                 core.leakage.reference_temperature_c,
+                core.leakage.voltage_sensitivity_per_v,
             )
             reference = np.array(
                 [
@@ -621,15 +966,18 @@ class DvfsPolicy:
             power_voltages_v=power_voltages,
             active_dynamic_w=active_dynamic,
             active_leakage_groups=tuple(
-                (kt, ref_c, power) for (kt, ref_c), power in active_groups.items()
+                (kt, ref_c, kv, power)
+                for (kt, ref_c, kv), power in active_groups.items()
             ),
             idle_leakage_groups=tuple(
-                (kt, ref_c, power) for (kt, ref_c), power in idle_groups.items()
+                (kt, ref_c, kv, power)
+                for (kt, ref_c, kv), power in idle_groups.items()
             ),
             uncore_power_w=die.uncore.package_c0_power_w(demand.memory_intensity),
             graphics_idle_power_w=self._graphics_idle_power_w,
             vmax_ok=vr_voltages <= self._vf_curve.vmax_v + 1e-9,
             iccmax_ok=virus_current <= die.iccmax_a,
+            vmax_v=self._vf_curve.vmax_v,
         )
 
     # -- internals -------------------------------------------------------------------------

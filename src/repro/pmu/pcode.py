@@ -17,9 +17,12 @@ ablation configurations (DarkGates limited to C7, non-DarkGates with C7).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.variation.sampler import DieVariation
 from repro.pdn.guardband import GuardbandModel
 from repro.pdn.loadline import VirusLevelTable, default_virus_table
 from repro.pmu.cstates import PackageCState, PackageCStateModel
@@ -53,6 +56,11 @@ class Pcode:
         manipulate the guardband directly (for example the flat -100 mV
         reduction of the paper's Fig. 3); by default the model is derived
         from the package's PDN configuration.
+    die_variation:
+        Optional :class:`~repro.variation.sampler.DieVariation` describing
+        the specific (non-nominal) die this firmware drives.  The DVFS
+        policy and the package C-state model re-reference their models to
+        the die; the thermal-resistance knob rides on the processor itself.
     """
 
     def __init__(
@@ -62,6 +70,7 @@ class Pcode:
         virus_table: Optional[VirusLevelTable] = None,
         reliability_margin_v: float = 0.0,
         guardband_model=None,
+        die_variation: Optional["DieVariation"] = None,
     ) -> None:
         if fuses.bypass_enabled and not processor.package.bypass_power_gates:
             raise ConfigurationError(
@@ -85,10 +94,12 @@ class Pcode:
             frequency_grid=processor.die.core_frequency_grid,
             vmax_v=processor.die.vmax_v,
         )
+        self._die_variation = die_variation
         self._dvfs = DvfsPolicy(
             processor=processor,
             vf_curve=self._vf_curve,
             bypass_mode=fuses.bypass_enabled,
+            die_variation=die_variation,
         )
         self._pbm = PowerBudgetManager(
             processor=processor,
@@ -96,7 +107,9 @@ class Pcode:
             bypass_mode=fuses.bypass_enabled,
         )
         self._cstates = PackageCStateModel(
-            processor=processor, bypass_mode=fuses.bypass_enabled
+            processor=processor,
+            bypass_mode=fuses.bypass_enabled,
+            die_variation=die_variation,
         )
 
     # -- identity -------------------------------------------------------------------------
@@ -115,6 +128,11 @@ class Pcode:
     def bypass_mode(self) -> bool:
         """True when the part operates in DarkGates bypass mode."""
         return self._fuses.bypass_enabled
+
+    @property
+    def die_variation(self) -> Optional["DieVariation"]:
+        """The specific die this firmware drives (``None`` == nominal)."""
+        return self._die_variation
 
     @property
     def vf_curve(self) -> VfCurve:

@@ -141,17 +141,26 @@ class VfCurve:
             + self._guardband_power_coupling * point.guardband_v
         )
 
-    def fmax_hz(self, active_cores: int, vmax_v: Optional[float] = None) -> float:
+    def fmax_hz(
+        self,
+        active_cores: int,
+        vmax_v: Optional[float] = None,
+        voltage_offset_v: float = 0.0,
+    ) -> float:
         """Maximum attainable frequency for *active_cores* active cores.
 
         This is the Vmax-limited Fmax of Section 2.4.2: the largest grid
         frequency whose nominal voltage plus guardband stays at or below the
         reliability limit.  The TDP and Iccmax limits are applied separately
         by the DVFS policy.
+
+        *voltage_offset_v* is the process-variation hook: a die whose V/F
+        requirement sits ``dv`` above nominal (a slow corner, or extra
+        power-gate IR guardband) loses exactly that much Vmax headroom.
         """
         limit = self._vmax_v if vmax_v is None else vmax_v
         guardband = self.guardband_v(active_cores)
-        headroom = limit - guardband
+        headroom = limit - guardband - voltage_offset_v
         if headroom <= 0:
             return self._frequency_grid.min_hz
         unconstrained = self._silicon.max_frequency_for_voltage(headroom)

@@ -15,6 +15,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
 
 from repro.common.validation import ensure_non_negative, ensure_positive
 
@@ -81,6 +84,36 @@ class LeakagePowerModel:
             * (temperature_c - self.reference_temperature_c)
         )
         return self.reference_power_w * voltage_ratio * voltage_term * temperature_term
+
+    # -- die-variation hooks -----------------------------------------------------------
+
+    def base_power_w(self, voltage_v: float) -> float:
+        """Leakage at *voltage_v* and the reference temperature.
+
+        This is the temperature-independent factor of the leakage law (the
+        temperature term is exactly 1 at ``reference_temperature_c``); the
+        process-variation paths scale it and re-apply their own temperature
+        factor so a die's leakage corner and ``kt`` shift compose without
+        rebuilding the model.
+        """
+        return self.power_w(voltage_v, self.reference_temperature_c)
+
+    def temperature_factor(
+        self,
+        temperature_c: float,
+        kt_delta_per_c: Union[float, np.ndarray] = 0.0,
+    ) -> Union[float, np.ndarray]:
+        """Exponential temperature term at *temperature_c*.
+
+        *kt_delta_per_c* shifts the temperature coefficient die to die; it
+        may be a scalar (one die) or an array (a population) — the same
+        ``np.exp`` expression evaluates either way, which keeps per-die and
+        population arithmetic bit-identical.
+        """
+        return np.exp(
+            (self.temperature_sensitivity_per_c + kt_delta_per_c)
+            * (temperature_c - self.reference_temperature_c)
+        )
 
     def current_a(self, voltage_v: float, temperature_c: float = 60.0) -> float:
         """Leakage current at the given voltage and temperature."""

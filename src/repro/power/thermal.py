@@ -53,18 +53,28 @@ class ThermalModel:
     ----------
     limits:
         Thermal limits of the configuration (TDP, Tjmax, ambient).
+    resistance_scale:
+        Die-to-die multiplier on the co-designed thermal resistance
+        (die-attach / TIM quality variation); 1.0 is the nominal part.
     """
 
     limits: ThermalLimits
+    resistance_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.resistance_scale, "resistance_scale")
 
     @property
     def thermal_resistance_c_per_w(self) -> float:
         """Junction-to-ambient thermal resistance of the cooling solution.
 
         Sized so that dissipating exactly TDP at the design ambient reaches
-        exactly Tjmax — the standard way TDP and the cooler are co-designed.
+        exactly Tjmax — the standard way TDP and the cooler are co-designed —
+        then scaled by the die's ``resistance_scale``.
         """
-        return (self.limits.tjmax_c - self.limits.ambient_c) / self.limits.tdp_w
+        return (
+            (self.limits.tjmax_c - self.limits.ambient_c) / self.limits.tdp_w
+        ) * self.resistance_scale
 
     def junction_temperature_c(self, sustained_power_w: float) -> float:
         """Steady-state junction temperature at *sustained_power_w*."""
@@ -217,6 +227,43 @@ class BatchedThermalModel:
             ],
             dtype=float,
         )
+
+    @classmethod
+    def from_parameters(
+        cls,
+        *,
+        ambient_c: float,
+        tjmax_c: float,
+        resistance_c_per_w: np.ndarray,
+        capacitance_j_per_c: float,
+        time_step_s: float,
+    ) -> "BatchedThermalModel":
+        """A batch sharing one design but with per-run thermal resistances.
+
+        This is the population fast path's injection point: per-die
+        resistances arrive as one array, with no per-die
+        :class:`TransientThermalModel` objects.  The decay factor of run
+        ``i`` is computed with the same ``math.exp(-dt / (R_i * C))``
+        expression the scalar model evaluates, so a population run matches
+        per-die stepping bit for bit.
+        """
+        ensure_positive(capacitance_j_per_c, "capacitance_j_per_c")
+        ensure_positive(time_step_s, "time_step_s")
+        resistance = np.asarray(resistance_c_per_w, dtype=float)
+        if (resistance <= 0).any():
+            raise ConfigurationError("resistance_c_per_w must be positive")
+        batch = cls.__new__(cls)
+        batch._ambient_c = np.full(resistance.shape, ambient_c, dtype=float)
+        batch._tjmax_c = np.full(resistance.shape, tjmax_c, dtype=float)
+        batch._resistance_c_per_w = resistance
+        batch._decay = np.array(
+            [
+                math.exp(-time_step_s / (r * capacitance_j_per_c))
+                for r in resistance
+            ],
+            dtype=float,
+        )
+        return batch
 
     @property
     def ambient_c(self) -> np.ndarray:

@@ -33,7 +33,7 @@ transient on the way there.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +47,8 @@ from repro.pmu.dvfs import (
     LimitingFactor,
     OperatingPoint,
     StackedCandidateTables,
+    die_voltage_offsets,
+    resolve_sustained_bins,
 )
 from repro.pmu.pcode import Pcode
 from repro.pmu.turbo import BatchedTurboBudgetManager, TurboBudgetManager
@@ -54,6 +56,9 @@ from repro.power.budget import TurboLimits
 from repro.power.thermal import BatchedThermalModel, TransientThermalModel
 from repro.sim.metrics import DynamicRunResult
 from repro.workloads.dynamics import AUTO_CSTATE, DynamicPhase, DynamicScenario
+
+if TYPE_CHECKING:
+    from repro.variation.sampler import DiePopulation
 
 
 @dataclass(frozen=True)
@@ -325,12 +330,12 @@ class _ActiveSegment:
     def __init__(
         self,
         stacked: StackedCandidateTables,
-        steps: Dict[str, np.ndarray],
+        rows: np.ndarray,
         run_axis: np.ndarray,
-        t0: int,
         active: np.ndarray,
+        sustained_bin: np.ndarray,
+        sustained_code: np.ndarray,
     ) -> None:
-        rows = steps["table_slot"][:, t0]
         self._run_axis = run_axis
         self._active = active
         self._all_active = bool(active.all())
@@ -373,8 +378,8 @@ class _ActiveSegment:
         self._uncore_w = stacked.uncore_power_w[rows]
         self._graphics_w = stacked.graphics_idle_power_w[rows]
         self._last_bin = stacked.bin_counts[rows] - 1
-        self._sustained_bin = steps["sustained_bin"][:, t0]
-        self._sustained_code = steps["sustained_code"][:, t0]
+        self._sustained_bin = sustained_bin
+        self._sustained_code = sustained_code
 
     def resolve(
         self,
@@ -440,6 +445,54 @@ class _ActiveSegment:
             power = np.where(self._active, power, idle_power_w)
             limiting = np.where(self._active, limiting, _CODE_NONE)
         return frequency, power, limiting, exhausted
+
+
+@dataclass
+class PopulationRunTraces:
+    """Raw lockstep traces of one scenario stepped over a die population.
+
+    Trace matrices are ``(steps, dice)``; the package C-state trace is
+    shared by every die (idle-state selection depends only on the timeline
+    and the fuses).  :mod:`repro.variation.population` condenses these into
+    percentile traces and per-die summary metrics; keeping the matrices
+    raw here lets tests assert bit-identity against the per-die reference
+    path.
+    """
+
+    scenario_name: str
+    time_step_s: float
+    pl1_w: float
+    pl2_w: float
+    times_s: np.ndarray
+    frequencies_hz: np.ndarray
+    package_powers_w: np.ndarray
+    temperatures_c: np.ndarray
+    average_powers_w: np.ndarray
+    limiting_codes: np.ndarray
+    cstate_codes: np.ndarray
+    cstate_names: Tuple[str, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of dice in the traces."""
+        return self.frequencies_hz.shape[1]
+
+    @property
+    def steps(self) -> int:
+        """Number of simulation steps."""
+        return self.frequencies_hz.shape[0]
+
+    def limiting_factor_names(self) -> np.ndarray:
+        """The ``(steps, dice)`` limiting-factor names as an object array."""
+        names = np.array(
+            [factor.value for factor in LIMITING_FACTOR_ORDER], dtype=object
+        )
+        return names[self.limiting_codes]
+
+    def package_cstate_names(self) -> List[str]:
+        """Per-step package C-state names (shared by every die)."""
+        names = np.array(list(self.cstate_names), dtype=object)
+        return list(names[self.cstate_codes])
 
 
 @dataclass
@@ -678,7 +731,12 @@ class BatchedDynamicsSimulator:
             idle_power = steps["idle_power_w"][:, t0]
             if any_active:
                 segment = _ActiveSegment(
-                    stacked, steps, run_axis, int(t0), active
+                    stacked,
+                    steps["table_slot"][:, t0],
+                    run_axis,
+                    active,
+                    steps["sustained_bin"][:, t0],
+                    steps["sustained_code"][:, t0],
                 )
             for t in range(int(t0), int(t1)):
                 if any_active:
@@ -716,6 +774,187 @@ class BatchedDynamicsSimulator:
                 traces["average_w"][t] = average
                 traces["limiting"][t] = limiting
         return traces
+
+    # -- the population (die-variation) fast path --------------------------------------
+
+    def run_population(
+        self, pcode: Pcode, scenario: DynamicScenario, population: "DiePopulation"
+    ) -> "PopulationRunTraces":
+        """Step one scenario across an entire die population in lockstep.
+
+        *pcode* is the **nominal** system; the population's per-die silicon
+        knobs are injected as stacked parameter arrays — candidate tables
+        through :meth:`~repro.pmu.dvfs.StackedCandidateTables.from_population`,
+        thermal resistance through
+        :meth:`~repro.power.thermal.BatchedThermalModel.from_parameters`,
+        idle power through the C-state model's varied arithmetic — with no
+        per-die Python objects.  Every expression matches what one die's
+        ``SystemSpec.variant(die_variation=...)`` build computes, so the
+        fast path reproduces the per-die reference path bit for bit.
+        """
+        if pcode.die_variation is not None:
+            raise ConfigurationError(
+                "run_population needs the nominal system; per-die variation "
+                "comes from the population"
+            )
+        count = population.count
+        processor = pcode.processor
+        dt = scenario.time_step_s
+        limits = TurboLimits.from_tdp(
+            processor.tdp_w,
+            pl2_ratio=scenario.pl2_ratio,
+            tau_s=scenario.turbo_tau_s,
+        )
+        thermal_limits = processor.thermal_model().limits
+        base_resistance = processor.thermal_model().thermal_resistance_c_per_w
+        resistance = base_resistance * population.thermal_resistance_scale
+        thermal = BatchedThermalModel.from_parameters(
+            ambient_c=thermal_limits.ambient_c,
+            tjmax_c=processor.tjmax_c,
+            resistance_c_per_w=resistance,
+            capacitance_j_per_c=scenario.thermal_capacitance_j_per_c,
+            time_step_s=dt,
+        )
+        turbo = BatchedTurboBudgetManager(
+            [limits] * count,
+            time_step_s=[dt] * count,
+            initial_average_w=[scenario.initial_average_power_w] * count,
+        )
+        vr_offset, power_offset = die_voltage_offsets(
+            population.vf_offset_v,
+            population.powergate_resistance_scale,
+            processor.die.cores[0].power_gate.on_resistance_ohm,
+            pcode.bypass_mode,
+        )
+        simulator = self.simulator(pcode)
+        run_axis = np.arange(count)
+        all_active = np.ones(count, dtype=bool)
+        segments: Dict[CpuDemand, _ActiveSegment] = {}
+        cstate_codes: Dict[str, int] = {_C0_NAME: 0}
+        phase_segments: List[Optional[_ActiveSegment]] = []
+        phase_idle_power: List[np.ndarray] = []
+        phase_cstates: List[int] = []
+        zeros = np.zeros(count)
+        for phase in scenario.phases:
+            if phase.is_idle:
+                state = simulator._resolve_idle_state(phase)
+                idle_power = np.asarray(
+                    pcode.cstate_model.varied_power_w(
+                        state,
+                        population.leakage_scale,
+                        population.leakage_kt_delta_per_c,
+                    )
+                )
+                phase_segments.append(None)
+                phase_idle_power.append(idle_power)
+                phase_cstates.append(
+                    cstate_codes.setdefault(state.value, len(cstate_codes))
+                )
+                continue
+            demand = phase.demand()
+            segment = segments.get(demand)
+            if segment is None:
+                nominal = pcode.dvfs_policy.candidate_table(demand)
+                stacked = StackedCandidateTables.from_population(
+                    nominal,
+                    leakage_scale=population.leakage_scale,
+                    kt_delta_per_c=population.leakage_kt_delta_per_c,
+                    vr_offset_v=np.asarray(vr_offset),
+                    power_offset_v=np.asarray(power_offset),
+                )
+                sustained_bin, sustained_code, _, _ = resolve_sustained_bins(
+                    stacked.population_package_power_w,
+                    stacked.vmax_ok,
+                    np.asarray(stacked.iccmax_ok),
+                    processor.tdp_w,
+                    resistance[:, None],
+                    thermal_limits.ambient_c,
+                    thermal_limits.tjmax_c,
+                )
+                segment = _ActiveSegment(
+                    stacked, run_axis, run_axis, all_active,
+                    sustained_bin, sustained_code,
+                )
+                segments[demand] = segment
+            phase_segments.append(segment)
+            phase_idle_power.append(zeros)
+            phase_cstates.append(cstate_codes[_C0_NAME])
+
+        counts = phase_step_counts(scenario)
+        total_steps = int(sum(counts))
+        temperature = np.full(
+            count,
+            (
+                scenario.initial_temperature_c
+                if scenario.initial_temperature_c is not None
+                else thermal_limits.ambient_c
+            ),
+            dtype=float,
+        )
+        armed = np.full(
+            count, scenario.initial_average_power_w < limits.pl1_w, dtype=bool
+        )
+        pl2_w = turbo.pl2_w
+        rebank_threshold_w = limits.pl1_w * scenario.rebank_fraction
+        traces = {
+            "frequency_hz": np.zeros((total_steps, count)),
+            "power_w": np.zeros((total_steps, count)),
+            "temperature_c": np.zeros((total_steps, count)),
+            "average_w": np.zeros((total_steps, count)),
+            "limiting": np.full((total_steps, count), _CODE_NONE, dtype=np.int64),
+        }
+        cstate_trace = np.zeros(total_steps, dtype=np.int64)
+        t = 0
+        for segment, idle_power, cstate, steps in zip(
+            phase_segments, phase_idle_power, phase_cstates, counts
+        ):
+            cstate_trace[t : t + steps] = cstate
+            for _ in range(steps):
+                if segment is not None:
+                    thermal_cap = thermal.max_power_keeping_tjmax_w(temperature)
+                    budget = turbo.power_budget_w()
+                    limit = np.where(
+                        armed,
+                        np.minimum(budget, thermal_cap),
+                        np.minimum(pl2_w, thermal_cap),
+                    )
+                    frequency, power, limiting, exhausted = segment.resolve(
+                        temperature, limit, armed, budget, pl2_w, thermal_cap,
+                        idle_power,
+                    )
+                else:
+                    frequency = zeros
+                    power = idle_power
+                    limiting = np.full(count, _CODE_NONE, dtype=np.int64)
+                    exhausted = None
+                average = turbo.account(power)
+                temperature = thermal.step(temperature, power)
+                rebank = np.where(average <= rebank_threshold_w, True, armed)
+                armed = (
+                    rebank
+                    if exhausted is None
+                    else np.where(exhausted, False, rebank)
+                )
+                traces["frequency_hz"][t] = frequency
+                traces["power_w"][t] = power
+                traces["temperature_c"][t] = temperature
+                traces["average_w"][t] = average
+                traces["limiting"][t] = limiting
+                t += 1
+        return PopulationRunTraces(
+            scenario_name=scenario.name,
+            time_step_s=dt,
+            pl1_w=limits.pl1_w,
+            pl2_w=limits.pl2_w,
+            times_s=np.cumsum(np.full(total_steps, dt)),
+            frequencies_hz=traces["frequency_hz"],
+            package_powers_w=traces["power_w"],
+            temperatures_c=traces["temperature_c"],
+            average_powers_w=traces["average_w"],
+            limiting_codes=traces["limiting"],
+            cstate_codes=cstate_trace,
+            cstate_names=tuple(cstate_codes),
+        )
 
     # -- result materialisation --------------------------------------------------------
 

@@ -193,6 +193,21 @@ class SimulationEngine:
             f"unknown dynamics method {method!r}; expected 'batched' or 'reference'"
         )
 
+    def run_population(self, scenario: DynamicScenario, population) -> object:
+        """Step a dynamic scenario across a whole die population in lockstep.
+
+        *population* is a :class:`~repro.variation.sampler.DiePopulation`;
+        the engine must be built from the nominal spec (per-die silicon
+        knobs are injected as stacked arrays — see
+        :meth:`~repro.sim.dynamics.BatchedDynamicsSimulator.run_population`).
+        Returns :class:`~repro.sim.dynamics.PopulationRunTraces`.
+        """
+        if self._batched_dynamics is None:
+            self._batched_dynamics = BatchedDynamicsSimulator()
+        return self._batched_dynamics.run_population(
+            self._pcode, scenario, population
+        )
+
     # -- energy scenarios ------------------------------------------------------------------
 
     def run_energy_scenario(self, scenario: EnergyScenario) -> EnergyRunResult:

@@ -35,6 +35,9 @@ class Processor:
         is exactly what the evaluation sweeps.
     tjmax_c:
         Maximum junction temperature.
+    thermal_resistance_scale:
+        Die-to-die multiplier on the cooling solution's thermal resistance
+        (process-variation knob); 1.0 is the nominal part.
     """
 
     name: str
@@ -42,9 +45,11 @@ class Processor:
     package: Package
     tdp_w: float
     tjmax_c: float = 100.0
+    thermal_resistance_scale: float = 1.0
 
     def __post_init__(self) -> None:
         ensure_positive(self.tdp_w, "tdp_w")
+        ensure_positive(self.thermal_resistance_scale, "thermal_resistance_scale")
 
     # -- derived views ---------------------------------------------------------------
 
@@ -60,7 +65,10 @@ class Processor:
 
     def thermal_model(self) -> ThermalModel:
         """Thermal model of this configuration's cooling solution."""
-        return ThermalModel(limits=ThermalLimits(tdp_w=self.tdp_w, tjmax_c=self.tjmax_c))
+        return ThermalModel(
+            limits=ThermalLimits(tdp_w=self.tdp_w, tjmax_c=self.tjmax_c),
+            resistance_scale=self.thermal_resistance_scale,
+        )
 
     def with_tdp(self, tdp_w: float) -> "Processor":
         """The same processor configured to a different TDP (cTDP)."""
@@ -70,6 +78,7 @@ class Processor:
             package=self.package,
             tdp_w=tdp_w,
             tjmax_c=self.tjmax_c,
+            thermal_resistance_scale=self.thermal_resistance_scale,
         )
 
     def describe(self) -> str:

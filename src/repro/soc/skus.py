@@ -18,7 +18,9 @@ gated-package part with a slightly lower V/F ceiling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigurationError
 
 from repro.common.grid import FrequencyGrid
 from repro.common.units import GHZ, MHZ
@@ -113,29 +115,59 @@ def broadwell_desktop(tdp_w: float = 65.0) -> Processor:
     )
 
 
+#: Datasheet registry keyed by the builder names of
+#: :data:`repro.core.spec.SKU_BUILDERS` (``"skylake-s"``, ``"skylake-h"``,
+#: ``"broadwell"``).  The two Skylake rows are the paper's Table 2; the
+#: Broadwell row covers the Fig. 3 motivation part.  SKU binning
+#: (:mod:`repro.variation.binning`) maps sampled die populations onto these
+#: parts, and :func:`repro.analysis.reporting.format_sku_table` renders them.
+SKU_DESCRIPTIONS: Dict[str, SkuDescription] = {
+    "skylake-s": SkuDescription(
+        name="i7-6700K",
+        segment="Skylake-S (high-end desktop)",
+        package="LGA1151",
+        core_count=4,
+        core_frequency_range_ghz=(0.8, 4.2),
+        graphics_frequency_range_mhz=(300.0, 1150.0),
+        llc_mb=8.0,
+        tdp_range_w=(35.0, 91.0),
+        process_nm=14,
+    ),
+    "skylake-h": SkuDescription(
+        name="i7-6920HQ",
+        segment="Skylake-H (high-end mobile)",
+        package="BGA1440",
+        core_count=4,
+        core_frequency_range_ghz=(0.8, 4.2),
+        graphics_frequency_range_mhz=(300.0, 1150.0),
+        llc_mb=8.0,
+        tdp_range_w=(35.0, 91.0),
+        process_nm=14,
+    ),
+    "broadwell": SkuDescription(
+        name="i7-5775C-class",
+        segment="Broadwell (previous-generation desktop)",
+        package="LGA1150",
+        core_count=4,
+        core_frequency_range_ghz=(0.8, 4.4),
+        graphics_frequency_range_mhz=(300.0, 1150.0),
+        llc_mb=6.0,
+        tdp_range_w=(35.0, 95.0),
+        process_nm=14,
+    ),
+}
+
+
+def describe_sku(sku: str) -> SkuDescription:
+    """Datasheet row of one registered SKU (by builder name)."""
+    try:
+        return SKU_DESCRIPTIONS[sku]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown sku {sku!r}; known: {sorted(SKU_DESCRIPTIONS)}"
+        ) from None
+
+
 def sku_descriptions() -> Tuple[SkuDescription, SkuDescription]:
     """Datasheet rows for the two evaluated Skylake SKUs (paper Table 2)."""
-    return (
-        SkuDescription(
-            name="i7-6700K",
-            segment="Skylake-S (high-end desktop)",
-            package="LGA1151",
-            core_count=4,
-            core_frequency_range_ghz=(0.8, 4.2),
-            graphics_frequency_range_mhz=(300.0, 1150.0),
-            llc_mb=8.0,
-            tdp_range_w=(35.0, 91.0),
-            process_nm=14,
-        ),
-        SkuDescription(
-            name="i7-6920HQ",
-            segment="Skylake-H (high-end mobile)",
-            package="BGA1440",
-            core_count=4,
-            core_frequency_range_ghz=(0.8, 4.2),
-            graphics_frequency_range_mhz=(300.0, 1150.0),
-            llc_mb=8.0,
-            tdp_range_w=(35.0, 91.0),
-            process_nm=14,
-        ),
-    )
+    return (SKU_DESCRIPTIONS["skylake-s"], SKU_DESCRIPTIONS["skylake-h"])

@@ -1,0 +1,642 @@
+"""Population-scale studies: Monte Carlo sweeps over sampled die fleets.
+
+:class:`PopulationStudy` crosses base system specs x TDP levels x dynamic
+scenarios with a seeded die population and executes the grid through the
+:mod:`repro.analysis.study` executor machinery:
+
+* ``method="fast"`` (default) — each grid cell is **one** task that steps
+  the whole population in lockstep through
+  :meth:`~repro.sim.engine.SimulationEngine.run_population` (stacked
+  parameter arrays, no per-die Python objects);
+* ``method="reference"`` — each grid cell expands to one task **per die**,
+  every die a full ``SystemSpec.variant(die_variation=...)`` build stepped
+  through the ordinary engine.
+
+Both methods produce identical numbers (the fast path is bit-compatible
+with per-die stepping), which the population benchmark and the equivalence
+tests assert; the fast path is simply one to two orders of magnitude
+faster.  Results condense into a :class:`PopulationResult`: percentile
+traces, per-die summary metrics, limiting-factor histograms, SKU-bin yields
+— all JSON-round-tripping, with the seed recorded so any run can be
+replayed exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.study import CallableTask, Executor, Study
+from repro.common.errors import ConfigurationError
+from repro.core.spec import SystemSpec, build_engine, resolve_spec
+from repro.pmu.dvfs import LimitingFactor
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import DynamicRunResult
+from repro.variation.binning import (
+    SCRAP_BIN,
+    BinningPolicy,
+    BinReport,
+    die_metrics,
+    skylake_binning_policy,
+)
+from repro.variation.distributions import VariationModel
+from repro.variation.sampler import DiePopulation, DiePopulationSampler
+from repro.workloads.dynamics import DynamicScenario
+
+#: Percentiles reported for every population trace.
+TRACE_PERCENTILES: Tuple[float, ...] = (5.0, 50.0, 95.0)
+
+_PERCENTILE_KEYS = tuple(f"p{int(p)}" for p in TRACE_PERCENTILES)
+
+
+# -- study task functions (module-level so process pools can pickle them) --------------
+
+
+def _run_fast_cell(
+    spec: SystemSpec,
+    scenario: DynamicScenario,
+    variations: VariationModel,
+    count: int,
+    seed: Optional[int],
+) -> "PopulationCellResult":
+    """One fast-path grid cell: the whole population in lockstep."""
+    population = DiePopulationSampler(variations).sample(count, seed=seed)
+    traces = build_engine(spec).run_population(scenario, population)
+    return _cell_from_matrices(
+        spec=spec,
+        scenario_name=scenario.name,
+        time_step_s=traces.time_step_s,
+        pl1_w=traces.pl1_w,
+        pl2_w=traces.pl2_w,
+        times_s=traces.times_s,
+        frequencies_hz=traces.frequencies_hz,
+        package_powers_w=traces.package_powers_w,
+        temperatures_c=traces.temperatures_c,
+        limiting_names=traces.limiting_factor_names(),
+        cstate_names=tuple(traces.package_cstate_names()),
+    )
+
+
+def _run_reference_die(spec: SystemSpec, scenario: DynamicScenario) -> DynamicRunResult:
+    """One reference-path task: one sampled die through the ordinary engine.
+
+    Engines are built fresh (not through the shared ``build_engine`` cache):
+    every die is a distinct system, so caching would only hoard memory.
+    """
+    return SimulationEngine(spec.build()).run(scenario)
+
+
+# -- result condensation ---------------------------------------------------------------
+
+
+def _cell_from_matrices(
+    spec: SystemSpec,
+    scenario_name: str,
+    time_step_s: float,
+    pl1_w: float,
+    pl2_w: float,
+    times_s: np.ndarray,
+    frequencies_hz: np.ndarray,
+    package_powers_w: np.ndarray,
+    temperatures_c: np.ndarray,
+    limiting_names: np.ndarray,
+    cstate_names: Tuple[str, ...],
+) -> "PopulationCellResult":
+    """Condense ``(steps, dice)`` trace matrices into one cell result.
+
+    Shared verbatim by the fast and reference paths — both hand identical
+    matrices here, so the condensed cells compare equal.  Matrices are
+    forced C-contiguous first: numpy's pairwise reductions depend on the
+    memory layout, and the reference path arrives transposed.
+    """
+    frequencies_hz = np.ascontiguousarray(frequencies_hz)
+    package_powers_w = np.ascontiguousarray(package_powers_w)
+    temperatures_c = np.ascontiguousarray(temperatures_c)
+
+    def percentiles(matrix: np.ndarray) -> Dict[str, Tuple[float, ...]]:
+        values = np.percentile(matrix, TRACE_PERCENTILES, axis=1)
+        return {
+            key: tuple(values[row].tolist())
+            for row, key in enumerate(_PERCENTILE_KEYS)
+        }
+
+    active_rows = np.flatnonzero((frequencies_hz > 0.0).any(axis=1))
+    if len(active_rows):
+        tail = active_rows[-max(1, len(active_rows) // 10) :]
+        sustained = frequencies_hz[tail].mean(axis=0)
+        final_limiting = tuple(limiting_names[active_rows[-1]].tolist())
+        flat = limiting_names[active_rows].ravel()
+        names, counts = np.unique(flat, return_counts=True)
+        histogram = {
+            str(name): float(count / flat.size)
+            for name, count in zip(names, counts)
+        }
+    else:
+        sustained = np.zeros(frequencies_hz.shape[1])
+        final_limiting = tuple(
+            LimitingFactor.NONE.value for _ in range(frequencies_hz.shape[1])
+        )
+        histogram = {}
+    return PopulationCellResult(
+        spec=spec,
+        scenario_name=scenario_name,
+        time_step_s=time_step_s,
+        pl1_w=pl1_w,
+        pl2_w=pl2_w,
+        times_s=tuple(np.asarray(times_s).tolist()),
+        frequency_percentiles_hz=percentiles(frequencies_hz),
+        power_percentiles_w=percentiles(package_powers_w),
+        temperature_percentiles_c=percentiles(temperatures_c),
+        limiting_histogram=histogram,
+        sustained_frequency_hz=tuple(sustained.tolist()),
+        average_power_w=tuple(package_powers_w.mean(axis=0).tolist()),
+        peak_temperature_c=tuple(temperatures_c.max(axis=0).tolist()),
+        final_limiting=final_limiting,
+        package_cstates=cstate_names,
+    )
+
+
+def _cell_from_run_results(
+    spec: SystemSpec,
+    scenario: DynamicScenario,
+    results: Sequence[DynamicRunResult],
+) -> "PopulationCellResult":
+    """Condense per-die reference results into the same cell shape."""
+    first = results[0]
+    limiting = np.array(
+        [result.limiting_factors for result in results], dtype=object
+    ).T
+    return _cell_from_matrices(
+        spec=spec,
+        scenario_name=scenario.name,
+        time_step_s=first.time_step_s,
+        pl1_w=first.pl1_w,
+        pl2_w=first.pl2_w,
+        times_s=np.array(first.times_s),
+        frequencies_hz=np.array([r.frequencies_hz for r in results]).T,
+        package_powers_w=np.array([r.package_powers_w for r in results]).T,
+        temperatures_c=np.array([r.temperatures_c for r in results]).T,
+        limiting_names=limiting,
+        cstate_names=first.package_cstates,
+    )
+
+
+# -- result types ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PopulationCellResult:
+    """Population summary of one (spec variant, scenario) grid cell.
+
+    Percentile traces are per-step quantiles across the dice; the per-die
+    tuples (sustained frequency, average power, peak temperature, final
+    limiting factor) keep die index order, so they join against the
+    population's bin assignments.
+    """
+
+    spec: SystemSpec
+    scenario_name: str
+    time_step_s: float
+    pl1_w: float
+    pl2_w: float
+    times_s: Tuple[float, ...]
+    frequency_percentiles_hz: Dict[str, Tuple[float, ...]]
+    power_percentiles_w: Dict[str, Tuple[float, ...]]
+    temperature_percentiles_c: Dict[str, Tuple[float, ...]]
+    limiting_histogram: Dict[str, float]
+    sustained_frequency_hz: Tuple[float, ...]
+    average_power_w: Tuple[float, ...]
+    peak_temperature_c: Tuple[float, ...]
+    final_limiting: Tuple[str, ...]
+    package_cstates: Tuple[str, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of dice summarised."""
+        return len(self.sustained_frequency_hz)
+
+    def sustained_quantiles_ghz(
+        self, quantiles: Sequence[float] = (5.0, 50.0, 95.0)
+    ) -> Tuple[float, ...]:
+        """Quantiles of the per-die sustained frequency, in GHz."""
+        values = np.percentile(
+            np.array(self.sustained_frequency_hz), list(quantiles)
+        )
+        return tuple(float(v) / 1e9 for v in values)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload describing this cell."""
+        return {
+            "spec": self.spec.to_dict(),
+            "scenario_name": self.scenario_name,
+            "time_step_s": self.time_step_s,
+            "pl1_w": self.pl1_w,
+            "pl2_w": self.pl2_w,
+            "times_s": list(self.times_s),
+            "frequency_percentiles_hz": {
+                key: list(trace)
+                for key, trace in self.frequency_percentiles_hz.items()
+            },
+            "power_percentiles_w": {
+                key: list(trace) for key, trace in self.power_percentiles_w.items()
+            },
+            "temperature_percentiles_c": {
+                key: list(trace)
+                for key, trace in self.temperature_percentiles_c.items()
+            },
+            "limiting_histogram": dict(self.limiting_histogram),
+            "sustained_frequency_hz": list(self.sustained_frequency_hz),
+            "average_power_w": list(self.average_power_w),
+            "peak_temperature_c": list(self.peak_temperature_c),
+            "final_limiting": list(self.final_limiting),
+            "package_cstates": list(self.package_cstates),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PopulationCellResult":
+        """Rebuild a cell from a :meth:`to_dict` payload."""
+        return cls(
+            spec=SystemSpec.from_dict(data["spec"]),
+            scenario_name=data["scenario_name"],
+            time_step_s=data["time_step_s"],
+            pl1_w=data["pl1_w"],
+            pl2_w=data["pl2_w"],
+            times_s=tuple(data["times_s"]),
+            frequency_percentiles_hz={
+                key: tuple(trace)
+                for key, trace in data["frequency_percentiles_hz"].items()
+            },
+            power_percentiles_w={
+                key: tuple(trace)
+                for key, trace in data["power_percentiles_w"].items()
+            },
+            temperature_percentiles_c={
+                key: tuple(trace)
+                for key, trace in data["temperature_percentiles_c"].items()
+            },
+            limiting_histogram=dict(data["limiting_histogram"]),
+            sustained_frequency_hz=tuple(data["sustained_frequency_hz"]),
+            average_power_w=tuple(data["average_power_w"]),
+            peak_temperature_c=tuple(data["peak_temperature_c"]),
+            final_limiting=tuple(data["final_limiting"]),
+            package_cstates=tuple(data["package_cstates"]),
+        )
+
+
+@dataclass(frozen=True)
+class SpecBinningResult:
+    """SKU binning of the population measured on one base spec's design."""
+
+    spec_name: str
+    assignments: Tuple[int, ...]
+    report: BinReport
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload describing this binning."""
+        return {
+            "spec_name": self.spec_name,
+            "assignments": list(self.assignments),
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpecBinningResult":
+        """Rebuild a binning result from a :meth:`to_dict` payload."""
+        return cls(
+            spec_name=data["spec_name"],
+            assignments=tuple(int(a) for a in data["assignments"]),
+            report=BinReport.from_dict(data["report"]),
+        )
+
+
+@dataclass(frozen=True)
+class PopulationResult:
+    """The completed grid of a population study.
+
+    Everything needed to replay the run rides along: the variation model,
+    the seed, the die count and the method.  Cells are addressable by
+    (spec variant, scenario name); binning is per *base* spec (the design
+    the dice were measured on), with per-die bin assignments so dynamics
+    metrics join against bins.
+    """
+
+    name: str
+    seed: Optional[int]
+    count: int
+    method: str
+    variations: VariationModel
+    binning_policy: BinningPolicy
+    cells: Tuple[PopulationCellResult, ...]
+    binning: Tuple[SpecBinningResult, ...]
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def cell(
+        self, spec: Union[SystemSpec, str], scenario: Union[DynamicScenario, str]
+    ) -> PopulationCellResult:
+        """The cell of one (spec variant, scenario) pair.
+
+        *spec* may be the expanded variant, its label (``"name@45W"``), or
+        a plain spec name when only one TDP level was swept.
+        """
+        scenario_name = scenario if isinstance(scenario, str) else scenario.name
+        for candidate in self.cells:
+            if candidate.scenario_name != scenario_name:
+                continue
+            if isinstance(spec, SystemSpec):
+                if candidate.spec == spec:
+                    return candidate
+            elif spec in (candidate.spec.label, candidate.spec.name):
+                return candidate
+        raise ConfigurationError(
+            f"population study {self.name!r} has no cell "
+            f"({spec!r}, {scenario_name!r})"
+        )
+
+    def spec_binning(self, spec_name: str) -> SpecBinningResult:
+        """Binning of the population measured on one base spec."""
+        for candidate in self.binning:
+            if candidate.spec_name == spec_name:
+                return candidate
+        raise ConfigurationError(
+            f"population study {self.name!r} has no binning for "
+            f"{spec_name!r}; known: {[b.spec_name for b in self.binning]}"
+        )
+
+    def bin_yields(self, spec_name: str) -> Dict[str, float]:
+        """Yield fraction per bin (including scrap) on one base spec."""
+        return dict(self.spec_binning(spec_name).report.yield_fractions)
+
+    def sustained_by_bin(
+        self,
+        cell: PopulationCellResult,
+        spec_name: str,
+        quantiles: Sequence[float] = (5.0, 95.0),
+    ) -> Dict[str, Tuple[float, ...]]:
+        """Per-bin quantiles of sustained frequency (GHz) for one cell.
+
+        Joins the cell's per-die sustained frequencies against the bin
+        assignments of *spec_name*'s binning; empty bins are omitted.
+        """
+        binning = self.spec_binning(spec_name)
+        assignments = np.array(binning.assignments)
+        sustained = np.array(cell.sustained_frequency_hz)
+        names = (*binning.report.bin_names, SCRAP_BIN)
+        out: Dict[str, Tuple[float, ...]] = {}
+        for index, bin_name in enumerate(names):
+            selector = -1 if bin_name == SCRAP_BIN else index
+            members = assignments == selector
+            if members.any():
+                values = np.percentile(sustained[members], list(quantiles))
+                out[bin_name] = tuple(float(v) / 1e9 for v in values)
+        return out
+
+    # -- serialisation -----------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise this result to a JSON document."""
+        payload = {
+            "name": self.name,
+            "seed": self.seed,
+            "count": self.count,
+            "method": self.method,
+            "variations": self.variations.to_dict(),
+            "binning_policy": self.binning_policy.to_dict(),
+            "cells": [cell.to_dict() for cell in self.cells],
+            "binning": [binning.to_dict() for binning in self.binning],
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PopulationResult":
+        """Rebuild a population result from :meth:`to_json` output."""
+        payload = json.loads(text)
+        return cls(
+            name=payload["name"],
+            seed=payload["seed"],
+            count=payload["count"],
+            method=payload["method"],
+            variations=VariationModel.from_dict(payload["variations"]),
+            binning_policy=BinningPolicy.from_dict(payload["binning_policy"]),
+            cells=tuple(
+                PopulationCellResult.from_dict(cell) for cell in payload["cells"]
+            ),
+            binning=tuple(
+                SpecBinningResult.from_dict(entry) for entry in payload["binning"]
+            ),
+        )
+
+
+# -- the study runner ------------------------------------------------------------------
+
+
+class PopulationStudy:
+    """A Monte Carlo sweep: specs x TDP levels x scenarios x N sampled dice.
+
+    Parameters
+    ----------
+    specs:
+        Base system specs (or registered names) — the designs the dice are
+        dropped into.  Must be nominal (no ``die_variation``).
+    scenarios:
+        Dynamic scenarios every die steps through.
+    variations:
+        The process-variation model to sample.
+    count:
+        Population size (dice).
+    tdp_levels_w:
+        Optional TDP sweep; every spec expands to one variant per level.
+    seed:
+        RNG seed; recorded in the result so the run can be replayed.
+        ``None`` draws one fresh seed up front — every grid cell, the
+        binning pass and the reference path still share that one draw (the
+        population must be the *same* dice everywhere), and the drawn seed
+        is recorded like an explicit one.
+    binning:
+        SKU binning policy; defaults to
+        :func:`~repro.variation.binning.skylake_binning_policy`.
+    method:
+        ``"fast"`` (lockstep population per cell, default) or
+        ``"reference"`` (one engine task per die).
+    executor:
+        Study executor the tasks run through (``"serial"``, ``"process"``,
+        or an executor object).
+    max_workers:
+        Pool size when *executor* is ``"process"``.
+    name:
+        Study name used in reports.
+    """
+
+    METHODS = ("fast", "reference")
+
+    def __init__(
+        self,
+        specs: Sequence[Union[SystemSpec, str]],
+        scenarios: Sequence[DynamicScenario],
+        variations: VariationModel,
+        count: int,
+        *,
+        tdp_levels_w: Optional[Sequence[float]] = None,
+        seed: Optional[int] = 0,
+        binning: Optional[BinningPolicy] = None,
+        method: str = "fast",
+        executor: Union[str, Executor] = "serial",
+        max_workers: Optional[int] = None,
+        name: str = "population-study",
+    ) -> None:
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        if method not in self.METHODS:
+            raise ConfigurationError(
+                f"unknown population method {method!r}; known: {list(self.METHODS)}"
+            )
+        self._base_specs = tuple(resolve_spec(spec) for spec in specs)
+        if not self._base_specs:
+            raise ConfigurationError("a population study needs at least one spec")
+        for spec in self._base_specs:
+            if spec.die_variation is not None:
+                raise ConfigurationError(
+                    f"base spec {spec.name!r} already carries a die variation; "
+                    "population studies vary nominal specs"
+                )
+        self._scenarios = tuple(scenarios)
+        if not self._scenarios:
+            raise ConfigurationError(
+                "a population study needs at least one scenario"
+            )
+        self._variations = variations
+        self._count = count
+        # Cell tasks re-draw the population from the seed (they must be
+        # pure and picklable), so an unseeded study pins one fresh seed up
+        # front — otherwise every cell would sample different dice.
+        if seed is None:
+            seed = int(np.random.SeedSequence().generate_state(1)[0])
+        self._seed = int(seed)
+        self._binning = binning if binning is not None else skylake_binning_policy()
+        self._method = method
+        self._executor = executor
+        self._max_workers = max_workers
+        self._name = name
+        if tdp_levels_w is None:
+            self._cell_specs = self._base_specs
+        else:
+            self._cell_specs = tuple(
+                spec.variant(tdp_w=tdp)
+                for tdp in tdp_levels_w
+                for spec in self._base_specs
+            )
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Study name."""
+        return self._name
+
+    @property
+    def seed(self) -> int:
+        """The seed threaded through every stochastic path of this study."""
+        return self._seed
+
+    @property
+    def count(self) -> int:
+        """Population size."""
+        return self._count
+
+    @property
+    def method(self) -> str:
+        """Execution method (``"fast"`` or ``"reference"``)."""
+        return self._method
+
+    @property
+    def cell_specs(self) -> Tuple[SystemSpec, ...]:
+        """The (TDP-expanded) spec axis of the grid."""
+        return self._cell_specs
+
+    def sample(self) -> DiePopulation:
+        """The study's population (deterministic in the seed)."""
+        return DiePopulationSampler(self._variations).sample(
+            self._count, seed=self._seed
+        )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self) -> PopulationResult:
+        """Execute the grid and return the condensed population result."""
+        population = self.sample()
+        tasks: List[CallableTask] = []
+        if self._method == "fast":
+            for spec in self._cell_specs:
+                for scenario in self._scenarios:
+                    tasks.append(
+                        CallableTask(
+                            key=f"{spec.label}/{scenario.name}",
+                            fn=_run_fast_cell,
+                            args=(
+                                spec, scenario, self._variations, self._count,
+                                self._seed,
+                            ),
+                        )
+                    )
+        else:
+            die_specs = {
+                spec: population.specs(spec) for spec in self._cell_specs
+            }
+            for spec in self._cell_specs:
+                for scenario in self._scenarios:
+                    for index, die_spec in enumerate(die_specs[spec]):
+                        tasks.append(
+                            CallableTask(
+                                key=f"{spec.label}/{scenario.name}/die{index}",
+                                fn=_run_reference_die,
+                                args=(die_spec, scenario),
+                            )
+                        )
+        study = Study(
+            tasks=tasks,
+            executor=self._executor,
+            max_workers=self._max_workers,
+            seed=self._seed,
+            name=f"{self._name}-grid",
+        )
+        grid = study.run()
+        cells: List[PopulationCellResult] = []
+        for spec in self._cell_specs:
+            for scenario in self._scenarios:
+                if self._method == "fast":
+                    cells.append(grid.task(f"{spec.label}/{scenario.name}"))
+                else:
+                    results = [
+                        grid.task(f"{spec.label}/{scenario.name}/die{index}")
+                        for index in range(self._count)
+                    ]
+                    cells.append(
+                        _cell_from_run_results(spec, scenario, results)
+                    )
+        binning = tuple(
+            self._bin_population(spec, population) for spec in self._base_specs
+        )
+        return PopulationResult(
+            name=self._name,
+            seed=self._seed,
+            count=self._count,
+            method=self._method,
+            variations=self._variations,
+            binning_policy=self._binning,
+            cells=tuple(cells),
+            binning=binning,
+        )
+
+    def _bin_population(
+        self, spec: SystemSpec, population: DiePopulation
+    ) -> SpecBinningResult:
+        metrics = die_metrics(build_engine(spec).pcode, population)
+        assignments = self._binning.assign(metrics)
+        return SpecBinningResult(
+            spec_name=spec.name,
+            assignments=tuple(int(a) for a in assignments),
+            report=self._binning.report(metrics, assignments),
+        )

@@ -1,0 +1,75 @@
+"""Deprecation enforcement.
+
+Every deprecated shim must warn through the shared
+:func:`repro.common.deprecation.warn_deprecated` helper — on every call
+path, including the package-level re-exports — and nothing inside the
+library may still call a shim (which would bury the warning where no user
+sees it).  These tests make the deprecations enforceable: a silent shim or
+a lingering internal caller fails the suite.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.core
+from repro.common.deprecation import warn_deprecated
+from repro.core.darkgates import (
+    baseline_system,
+    darkgates_c7_limited_system,
+    darkgates_system,
+)
+
+FACTORY_SHIMS = {
+    "darkgates_system": (darkgates_system, "darkgates"),
+    "baseline_system": (baseline_system, "baseline"),
+    "darkgates_c7_limited_system": (darkgates_c7_limited_system, "darkgates+c7"),
+}
+
+
+def test_warn_deprecated_message_and_category():
+    with pytest.warns(DeprecationWarning, match=r"old\(\) is deprecated; use new"):
+        warn_deprecated("old()", "new", stacklevel=2)
+
+
+@pytest.mark.parametrize("name", sorted(FACTORY_SHIMS))
+def test_factory_shim_warns_exactly_once_naming_replacement(name):
+    shim, spec_name = FACTORY_SHIMS[name]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim(91.0)
+    deprecations = [
+        entry for entry in caught if entry.category is DeprecationWarning
+    ]
+    assert len(deprecations) == 1, f"{name} should warn exactly once per call"
+    message = str(deprecations[0].message)
+    assert name in message and "get_spec" in message and spec_name in message
+
+
+@pytest.mark.parametrize("module", [repro, repro.core])
+@pytest.mark.parametrize("name", sorted(FACTORY_SHIMS))
+def test_factory_shims_warn_through_package_reexports(module, name):
+    with pytest.warns(DeprecationWarning, match=re.escape(name)):
+        getattr(module, name)(91.0)
+
+
+def test_no_silent_internal_callers_of_deprecated_factories():
+    """The library itself must not call the shims (warnings would be buried)."""
+    src_root = Path(repro.__file__).parent
+    pattern = re.compile(
+        r"^(?!\s*def\s)(?!.*[\"'#]).*\b"
+        r"(darkgates_system|baseline_system|darkgates_c7_limited_system)\s*\("
+    )
+    offenders = []
+    for path in src_root.rglob("*.py"):
+        if path.name == "darkgates.py" and path.parent.name == "core":
+            continue
+        for line_number, line in enumerate(path.read_text().splitlines(), 1):
+            if pattern.match(line):
+                offenders.append(f"{path.relative_to(src_root)}:{line_number}")
+    assert not offenders, f"internal deprecated-factory callers: {offenders}"

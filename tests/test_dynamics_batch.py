@@ -236,18 +236,19 @@ def test_stacked_tables_multi_group_association_matches_scalar():
         power_voltages_v=np.array([0.68, 0.78, 0.9]),
         active_dynamic_w=np.array([1.1, 2.3, 4.7]),
         active_leakage_groups=(
-            (0.02, 60.0, np.array([0.1, 0.2, 0.3])),
-            (0.031, 55.0, np.array([0.05, 0.06, 0.07])),
-            (0.027, 65.0, np.array([0.01, 0.03, 0.09])),
+            (0.02, 60.0, 1.8, np.array([0.1, 0.2, 0.3])),
+            (0.031, 55.0, 2.1, np.array([0.05, 0.06, 0.07])),
+            (0.027, 65.0, 1.8, np.array([0.01, 0.03, 0.09])),
         ),
         idle_leakage_groups=(
-            (0.02, 60.0, np.array([0.01, 0.02, 0.03])),
-            (0.031, 55.0, np.array([0.002, 0.004, 0.008])),
+            (0.02, 60.0, 1.8, np.array([0.01, 0.02, 0.03])),
+            (0.031, 55.0, 2.1, np.array([0.002, 0.004, 0.008])),
         ),
         uncore_power_w=1.5,
         graphics_idle_power_w=0.05,
         vmax_ok=np.array([True, True, False]),
         iccmax_ok=np.array([True, True, True]),
+        vmax_v=1.0,
     )
     stacked = StackedCandidateTables.from_tables([table])
     rows = np.array([0])

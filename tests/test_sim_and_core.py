@@ -5,11 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.core.darkgates import (
-    SystemComparison,
-    darkgates_c7_limited_system,
-    darkgates_system,
-)
+from repro.core.darkgates import SystemComparison
+from repro.core.spec import get_spec
 from repro.core.overhead import darkgates_overheads
 from repro.pmu.cstates import PackageCState
 from repro.pmu.dvfs import CpuDemand
@@ -35,14 +32,14 @@ def test_baseline_system_is_gated_with_c7(baseline_91w):
 
 
 def test_darkgates_c7_limited_system_configuration():
-    limited = darkgates_c7_limited_system(91.0)
+    limited = get_spec("darkgates+c7", tdp_w=91.0).build()
     assert limited.bypass_mode
     assert limited.deepest_package_cstate() is PackageCState.C7
 
 
 def test_darkgates_reliability_margin_larger_at_low_tdp():
-    low = darkgates_system(35.0)
-    high = darkgates_system(91.0)
+    low = get_spec("darkgates", tdp_w=35.0).build()
+    high = get_spec("darkgates", tdp_w=91.0).build()
     assert (
         low.guardband_model.reliability_margin_v
         > high.guardband_model.reliability_margin_v
@@ -51,7 +48,7 @@ def test_darkgates_reliability_margin_larger_at_low_tdp():
 
 
 def test_darkgates_without_reliability_margin():
-    plain = darkgates_system(91.0, apply_reliability_guardband=False)
+    plain = get_spec("darkgates", tdp_w=91.0, apply_reliability_guardband=False).build()
     assert plain.guardband_model.reliability_margin_v == 0.0
 
 
