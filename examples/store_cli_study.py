@@ -1,0 +1,88 @@
+"""Run store walkthrough: a dynamics sweep that is free the second time.
+
+Runs a DarkGates-vs-baseline burst sweep twice through a persistent
+:class:`~repro.store.cache.StoreCache`.  The first pass executes every cell
+through the simulator and persists one content-addressed artifact directory
+per run; the second pass builds an identical study against the same store
+and is served entirely from disk — the script asserts it executes **zero**
+simulator tasks and returns a bit-identical result.  It then answers a
+cross-run question ("darkgates vs baseline at each TDP") straight from the
+SQLite index, engine untouched.
+
+The same store drives the command line::
+
+    python -m repro run --spec darkgates --spec baseline --scenario burst \\
+        --tdp 35 --tdp 91
+    python -m repro summarize --spec darkgates
+    python -m repro compare --spec darkgates --spec baseline
+
+Run with::
+
+    python examples/store_cli_study.py
+
+The store lands in ``$REPRO_STORE_DIR`` if set, else a temporary directory
+(so the example never pollutes ``~/.repro_store``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import RunIndex, RunStore, Study, StoreCache
+from repro.analysis.reporting import format_table
+from repro.workloads.dynamics import burst_scenario
+
+
+def run_sweep(root: str) -> Study:
+    study = Study.over_dynamics(
+        ("darkgates", "baseline"),
+        [burst_scenario(idle_lead_s=5.0, burst_s=20.0, time_step_s=0.5)],
+        tdp_levels_w=(35.0, 91.0),
+        cache=StoreCache(root, seed=7),
+        seed=7,
+        name="store-example",
+    )
+    study.run()
+    return study
+
+
+def main() -> None:
+    root = os.environ.get("REPRO_STORE_DIR") or tempfile.mkdtemp(
+        prefix="repro_store_"
+    )
+
+    cold = run_sweep(root)
+    print(f"cold pass: {cold.tasks_executed} simulator task(s) executed")
+
+    warm = run_sweep(root)
+    print(f"warm pass: {warm.tasks_executed} simulator task(s) executed")
+    assert warm.tasks_executed == 0, "warm pass should be pure disk reads"
+    assert warm.run().to_json() == cold.run().to_json()
+
+    index = RunIndex(RunStore(root))
+    index.rebuild()
+    rows = [
+        (
+            entry["workload_name"],
+            f"{entry['tdp_w']:g} W",
+            f"{entry['metric_a']:.3f}",
+            f"{entry['metric_b']:.3f}",
+            f"{entry['ratio']:.4f}",
+        )
+        for entry in index.compare("darkgates", "baseline", kind="dynamic")
+    ]
+    print()
+    print(
+        format_table(
+            ["workload", "TDP", "darkgates", "baseline", "ratio"],
+            rows,
+            title="Served from the index - no engine invocation",
+        )
+    )
+    print()
+    print(f"store root: {root} ({len(RunStore(root))} stored run(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -89,6 +89,7 @@ from repro.sim.metrics import (
     RunResult,
     TransientRunResult,
 )
+from repro.store import RunIndex, RunManifest, RunStore, StoreCache
 from repro.variation import (
     BinningPolicy,
     DiePopulation,
@@ -110,7 +111,7 @@ from repro.workloads.spec import (
     spec_cpu2006_suite,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SystemSpec",
@@ -156,5 +157,9 @@ __all__ = [
     "skylake_binning_policy",
     "PopulationStudy",
     "PopulationResult",
+    "RunStore",
+    "RunManifest",
+    "RunIndex",
+    "StoreCache",
     "__version__",
 ]

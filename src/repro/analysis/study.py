@@ -54,7 +54,11 @@ from typing import (
 from repro.analysis.reporting import format_table
 from repro.common.errors import ConfigurationError
 from repro.core.spec import SystemSpec, build_engine, resolve_spec
-from repro.sim.metrics import RunResult
+from repro.sim.metrics import (
+    RESULT_SCHEMA_VERSION,
+    RunResult,
+    check_payload_schema,
+)
 from repro.workloads.descriptors import Workload
 
 if TYPE_CHECKING:
@@ -185,7 +189,36 @@ class ProcessExecutor:
             return list(pool.map(execute_task, tasks, chunksize=chunksize))
 
 
-Executor = Union[SerialExecutor, BatchedExecutor, ProcessExecutor]
+class StoreOnlyExecutor:
+    """An executor that refuses to execute: every cell must already exist.
+
+    Backing a study with this executor turns ``run()`` into a pure read of
+    the study's cache — the path :meth:`StudyResult.from_store` uses to
+    answer queries from the persistent run store without ever invoking the
+    simulation engine.  A cache miss raises instead of simulating.
+    """
+
+    def run_tasks(self, tasks: Sequence[StudyTask]) -> List[Any]:
+        """Never executes; raises listing the missing cells."""
+        labels = [
+            (
+                f"({task.spec.label}, {task.workload.name})"
+                if isinstance(task, EngineTask)
+                else f"(task {task.key!r})"
+            )
+            for task in tasks[:5]
+        ]
+        suffix = "" if len(tasks) <= 5 else f" and {len(tasks) - 5} more"
+        raise ConfigurationError(
+            f"{len(tasks)} cell(s) missing from the run store: "
+            f"{', '.join(labels)}{suffix}; execute the sweep first "
+            "(Study(cache=StoreCache(...)).run() or python -m repro run)"
+        )
+
+
+Executor = Union[
+    SerialExecutor, BatchedExecutor, ProcessExecutor, StoreOnlyExecutor
+]
 
 _EXECUTORS: Dict[str, Callable[[], Executor]] = {
     "serial": SerialExecutor,
@@ -197,7 +230,16 @@ _EXECUTORS: Dict[str, Callable[[], Executor]] = {
 def resolve_executor(
     executor: Union[str, Executor], max_workers: Optional[int] = None
 ) -> Executor:
-    """Turn an executor name (or pass an executor object through)."""
+    """Turn an executor name (or pass an executor object through).
+
+    *max_workers* is validated here for every executor shape, so a bad
+    pool size fails fast instead of surfacing later (or being silently
+    ignored by a non-process executor).
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
     if isinstance(executor, str):
         try:
             factory = _EXECUTORS[executor]
@@ -321,6 +363,7 @@ class StudyResult:
         """
         payload: Dict[str, Any] = {
             "name": self.name,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "cells": [
                 {
                     "spec": cell.spec.to_dict() if cell.spec is not None else None,
@@ -341,7 +384,7 @@ class StudyResult:
         if self.seed is not None:
             payload["seed"] = self.seed
         try:
-            return json.dumps(payload, indent=indent)
+            return json.dumps(payload, indent=indent, sort_keys=True)
         except TypeError as error:
             raise ConfigurationError(
                 f"study {self.name!r} holds a non-JSON-serialisable task "
@@ -357,6 +400,7 @@ class StudyResult:
         stored as.
         """
         payload = json.loads(text)
+        check_payload_schema(payload, "study result")
         cells = []
         for entry in payload["cells"]:
             spec = (
@@ -378,6 +422,35 @@ class StudyResult:
         return cls(
             name=payload["name"], cells=tuple(cells), seed=payload.get("seed")
         )
+
+    @classmethod
+    def from_store(
+        cls,
+        cache: MutableMapping["StudyTask", Any],
+        specs: Sequence[Union[SystemSpec, str]],
+        workloads: "WorkloadSuites",
+        *,
+        name: str = "study",
+        seed: Optional[int] = None,
+    ) -> "StudyResult":
+        """Assemble a study result purely from persisted runs.
+
+        Declares the same grid a :class:`Study` would (*specs* x
+        *workloads*) but backs it with :class:`StoreOnlyExecutor`: every
+        cell must already be in *cache* — typically a
+        :class:`~repro.store.cache.StoreCache` over the persistent run
+        store — and a missing cell raises instead of simulating.  The warm
+        path touches zero simulator code.
+        """
+        study = Study(
+            specs,
+            workloads,
+            cache=cache,
+            executor=StoreOnlyExecutor(),
+            seed=seed,
+            name=name,
+        )
+        return study.run()
 
 
 # -- the study runner ------------------------------------------------------------------

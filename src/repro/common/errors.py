@@ -48,3 +48,12 @@ class SimulationError(ReproError):
 
 class CalibrationError(ReproError):
     """Raised when calibration targets cannot be met by the model."""
+
+
+class StoreError(ReproError):
+    """Raised when the persistent run store cannot honour a request.
+
+    Typical causes are a manifest that fails validation, a result payload
+    written by a newer schema than this library understands, or a value
+    that cannot be JSON-encoded faithfully for persistence.
+    """

@@ -40,9 +40,19 @@ from repro.workloads.descriptors import (
 )
 from repro.workloads.dynamics import DynamicScenario
 
+#: Version stamp of the simulation engine, hashed into content-addressed
+#: run IDs and recorded in run-store manifests.  Bump it whenever an engine
+#: or model change alters the numbers a run produces: stored runs from the
+#: old engine then miss naturally (and ``python -m repro gc`` collects
+#: them) instead of serving outdated physics as warm cache hits.
+ENGINE_VERSION = "1"
+
 
 class SimulationEngine:
     """Runs workloads on one firmware-configured system."""
+
+    #: Engine version of every result this engine produces.
+    version: str = ENGINE_VERSION
 
     #: Workload ``kind`` tag -> bound-method name implementing that class.
     _DISPATCH: Dict[str, str] = {

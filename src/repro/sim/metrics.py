@@ -16,6 +16,26 @@ from repro.common.errors import ConfigurationError
 from repro.pmu.dvfs import LimitingFactor, OperatingPoint
 from repro.pmu.pbm import GraphicsOperatingPoint
 
+#: Version of every result payload schema (``to_dict``/``to_json``).  Bump
+#: when a payload gains/renames fields; readers reject payloads written by
+#: a *newer* schema instead of silently misparsing them.  The run store
+#: stamps this into its artifacts so stale stored results are detectable.
+RESULT_SCHEMA_VERSION = 1
+
+
+def check_payload_schema(data: Dict[str, Any], what: str) -> None:
+    """Reject payloads written by a schema newer than this library.
+
+    Payloads without a ``schema_version`` field (pre-store artifacts) are
+    accepted as version 1.
+    """
+    version = data.get("schema_version", RESULT_SCHEMA_VERSION)
+    if not isinstance(version, int) or version > RESULT_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{what} payload has schema version {version!r}, newer than "
+            f"this library understands (<= {RESULT_SCHEMA_VERSION})"
+        )
+
 
 class RunResult:
     """Base class of every engine result.
@@ -41,6 +61,7 @@ class RunResult:
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "RunResult":
         """Rebuild a concrete result from a :meth:`to_dict` payload."""
+        check_payload_schema(data, "run result")
         kind = data.get("kind")
         try:
             result_type = _RESULT_TYPES[kind]
@@ -126,6 +147,7 @@ class CpuRunResult(RunResult):
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "workload_name": self.workload_name,
             "operating_point": _operating_point_to_dict(self.operating_point),
             "relative_performance": self.relative_performance,
@@ -167,6 +189,7 @@ class GraphicsRunResult(RunResult):
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "workload_name": self.workload_name,
             "operating_point": _graphics_point_to_dict(self.operating_point),
             "relative_fps": self.relative_fps,
@@ -234,6 +257,7 @@ class EnergyRunResult(RunResult):
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "scenario_name": self.scenario_name,
             "phases": [
                 {
@@ -300,6 +324,7 @@ class TransientRunResult(RunResult):
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "scenario_name": self.scenario_name,
             "nominal_voltage_v": self.nominal_voltage_v,
             "worst_droop_v": self.worst_droop_v,
@@ -314,6 +339,7 @@ class TransientRunResult(RunResult):
     def _from_payload(cls, data: Dict[str, Any]) -> "TransientRunResult":
         payload = dict(data)
         payload.pop("kind", None)
+        payload.pop("schema_version", None)
         return cls(**payload)
 
 
@@ -455,6 +481,7 @@ class DynamicRunResult(RunResult):
     def to_dict(self) -> Dict[str, Any]:
         return {
             "kind": self.kind,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "scenario_name": self.scenario_name,
             "time_step_s": self.time_step_s,
             "pl1_w": self.pl1_w,

@@ -1,0 +1,301 @@
+"""The on-disk run store: one artifact directory per content-addressed run.
+
+Layout (root defaults to ``~/.repro_store``, overridable via the
+``REPRO_STORE_DIR`` environment variable or an explicit path)::
+
+    <root>/
+      runs/<run_id>/result.json      # encoded result payload
+      runs/<run_id>/manifest.json    # RunManifest; written last
+      index.sqlite                   # cross-run index (see repro.store.index)
+
+Every file is written atomically (temp file in the target directory, then
+``os.replace``), and the manifest lands *after* the result: a run directory
+is complete exactly when it holds a valid manifest.  Two processes writing
+the same run ID race harmlessly — both write identical content (the ID is
+content-addressed) and the last rename wins file-whole; readers never see a
+torn manifest.  Corrupted or truncated manifests are detected on read and
+skipped with a :class:`StoreCorruptionWarning` instead of poisoning sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import uuid
+import warnings
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.common.errors import StoreError
+from repro.sim.metrics import RESULT_SCHEMA_VERSION, RunResult
+from repro.store.manifest import RunManifest
+
+#: Environment variable overriding the default store location.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+#: Store directory under the user's home when nothing else is configured.
+DEFAULT_STORE_DIRNAME = ".repro_store"
+
+RESULT_FILENAME = "result.json"
+MANIFEST_FILENAME = "manifest.json"
+
+
+class StoreCorruptionWarning(UserWarning):
+    """A stored artifact failed validation and was skipped."""
+
+
+def resolve_store_root(root: Union[str, Path, None] = None) -> Path:
+    """The store root: explicit path > ``REPRO_STORE_DIR`` > ``~/.repro_store``."""
+    if root is not None:
+        return Path(root).expanduser()
+    env = os.environ.get(STORE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / DEFAULT_STORE_DIRNAME
+
+
+# -- value codec -----------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Dict[str, Any]:
+    """Encode a study-task result into a JSON-safe store payload.
+
+    Engine results (every :class:`~repro.sim.metrics.RunResult` kind)
+    serialise through their ``to_dict``; population cells and binning
+    results through theirs; anything else must already be a faithful JSON
+    value (tuples are rejected — they would silently come back as lists).
+    """
+    from repro.variation.population import (
+        PopulationCellResult,
+        PopulationResult,
+        SpecBinningResult,
+    )
+
+    if isinstance(value, RunResult):
+        payload: Dict[str, Any] = {"codec": "run_result", "value": value.to_dict()}
+    elif isinstance(value, PopulationCellResult):
+        payload = {"codec": "population_cell", "value": value.to_dict()}
+    elif isinstance(value, SpecBinningResult):
+        payload = {"codec": "spec_binning", "value": value.to_dict()}
+    elif isinstance(value, PopulationResult):
+        payload = {"codec": "population", "value": json.loads(value.to_json())}
+    else:
+        try:
+            faithful = json.loads(json.dumps(value, allow_nan=False)) == value
+        except (TypeError, ValueError):
+            faithful = False
+        if not faithful:
+            raise StoreError(
+                f"cannot persist {type(value).__name__!s}: not an engine "
+                "result and not a faithful JSON value"
+            )
+        payload = {"codec": "json", "value": value}
+    payload["schema_version"] = RESULT_SCHEMA_VERSION
+    return payload
+
+
+def decode_value(payload: Dict[str, Any]) -> Any:
+    """Decode a store payload back into the value :func:`encode_value` saw."""
+    from repro.variation.population import (
+        PopulationCellResult,
+        PopulationResult,
+        SpecBinningResult,
+    )
+
+    version = payload.get("schema_version", RESULT_SCHEMA_VERSION)
+    if not isinstance(version, int) or version > RESULT_SCHEMA_VERSION:
+        raise StoreError(
+            f"stored result schema version {version!r} is newer than this "
+            f"library understands (<= {RESULT_SCHEMA_VERSION})"
+        )
+    codec = payload.get("codec")
+    value = payload.get("value")
+    if codec == "run_result":
+        return RunResult.from_dict(value)
+    if codec == "population_cell":
+        return PopulationCellResult.from_dict(value)
+    if codec == "spec_binning":
+        return SpecBinningResult.from_dict(value)
+    if codec == "population":
+        return PopulationResult.from_json(json.dumps(value))
+    if codec == "json":
+        return value
+    raise StoreError(f"unknown store codec {codec!r}")
+
+
+# -- the store -------------------------------------------------------------------------
+
+
+class RunStore:
+    """Persistent, content-addressed storage of completed runs.
+
+    Parameters
+    ----------
+    root:
+        Store root; ``None`` resolves through :func:`resolve_store_root`
+        (``REPRO_STORE_DIR`` or ``~/.repro_store``).
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self._root = resolve_store_root(root)
+
+    @property
+    def root(self) -> Path:
+        """The store root directory."""
+        return self._root
+
+    @property
+    def runs_dir(self) -> Path:
+        """The directory holding one subdirectory per run."""
+        return self._root / "runs"
+
+    def run_dir(self, run_id: str) -> Path:
+        """The artifact directory of one run."""
+        return self.runs_dir / run_id
+
+    # -- writing -----------------------------------------------------------------------
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        """Write *text* to *path* via a same-directory temp file + rename."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    def put(self, manifest: RunManifest, value: Any) -> RunManifest:
+        """Persist one run: encoded *value* first, *manifest* last.
+
+        Returns the manifest as written.  Concurrent writers of the same
+        run ID each complete their own atomic renames; because the ID is
+        content-addressed both wrote equivalent artifacts, so whichever
+        rename lands last leaves a consistent directory.
+        """
+        run_dir = self.run_dir(manifest.run_id)
+        payload = encode_value(value)
+        self._write_atomic(
+            run_dir / RESULT_FILENAME, json.dumps(payload, sort_keys=True)
+        )
+        self._write_atomic(
+            run_dir / MANIFEST_FILENAME,
+            json.dumps(manifest.to_dict(), sort_keys=True),
+        )
+        return manifest
+
+    # -- reading -----------------------------------------------------------------------
+
+    def __contains__(self, run_id: str) -> bool:
+        """True when *run_id* has a complete (manifest + result) directory."""
+        run_dir = self.run_dir(run_id)
+        return (run_dir / MANIFEST_FILENAME).exists() and (
+            run_dir / RESULT_FILENAME
+        ).exists()
+
+    def load_manifest(self, run_id: str) -> RunManifest:
+        """The manifest of one run (raises :class:`StoreError` if invalid)."""
+        path = self.run_dir(run_id) / MANIFEST_FILENAME
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise StoreError(f"run {run_id!r} is not in the store") from None
+        except (json.JSONDecodeError, OSError) as error:
+            raise StoreError(
+                f"run {run_id!r} has a corrupted manifest: {error}"
+            ) from None
+        manifest = RunManifest.from_dict(data)
+        if manifest.run_id != run_id:
+            raise StoreError(
+                f"manifest of run {run_id!r} claims run_id "
+                f"{manifest.run_id!r} (torn or misplaced write)"
+            )
+        return manifest
+
+    def load_value(self, run_id: str) -> Any:
+        """The decoded result value of one run."""
+        path = self.run_dir(run_id) / RESULT_FILENAME
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise StoreError(f"run {run_id!r} is not in the store") from None
+        except (json.JSONDecodeError, OSError) as error:
+            raise StoreError(
+                f"run {run_id!r} has a corrupted result payload: {error}"
+            ) from None
+        return decode_value(payload)
+
+    def run_ids(self) -> List[str]:
+        """IDs of every run directory currently on disk, sorted."""
+        if not self.runs_dir.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self.runs_dir.iterdir() if entry.is_dir()
+        )
+
+    def iter_manifests(self) -> Iterator[RunManifest]:
+        """Yield the manifest of every complete run, skipping corrupt ones.
+
+        In-flight directories (no manifest yet) are silently ignored;
+        corrupted or truncated manifests raise a
+        :class:`StoreCorruptionWarning` and are skipped, so one damaged
+        artifact never poisons an index rebuild or a sweep.
+        """
+        for run_id in self.run_ids():
+            if not (self.run_dir(run_id) / MANIFEST_FILENAME).exists():
+                continue
+            try:
+                yield self.load_manifest(run_id)
+            except StoreError as error:
+                warnings.warn(
+                    f"skipping run {run_id}: {error}",
+                    StoreCorruptionWarning,
+                    stacklevel=2,
+                )
+
+    def __len__(self) -> int:
+        return len(self.run_ids())
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def delete(self, run_id: str) -> None:
+        """Remove one run's artifact directory (missing runs are a no-op)."""
+        run_dir = self.run_dir(run_id)
+        if run_dir.is_dir():
+            shutil.rmtree(run_dir)
+
+    def gc(
+        self,
+        *,
+        keep_engine_version: Optional[str] = None,
+        tier: Optional[str] = None,
+        delete_all: bool = False,
+        apply: bool = False,
+    ) -> List[RunManifest]:
+        """Collect runs and (optionally) delete them.
+
+        Returns the manifests of the runs selected for collection: every
+        run when *delete_all* is set, otherwise runs whose engine version
+        differs from *keep_engine_version* and/or whose tier matches
+        *tier*.  Nothing is removed unless *apply* is true — the default
+        is a dry run, mirroring the ``--update-baseline``-style workflow
+        of the benchmark gate (inspect first, then apply explicitly).
+        """
+        selected: List[RunManifest] = []
+        for manifest in self.iter_manifests():
+            if delete_all:
+                selected.append(manifest)
+                continue
+            stale_engine = (
+                keep_engine_version is not None
+                and manifest.engine_version != keep_engine_version
+            )
+            tier_match = tier is not None and manifest.tier == tier
+            if stale_engine or tier_match:
+                selected.append(manifest)
+        if apply:
+            for manifest in selected:
+                self.delete(manifest.run_id)
+        return selected

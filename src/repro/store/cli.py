@@ -1,0 +1,335 @@
+"""``python -m repro`` — drive studies through the persistent run store.
+
+Subcommands::
+
+    run        execute a sweep (specs x scenarios/suites x TDPs), persisting
+               every cell; warm cells are served from the store
+    summarize  tabulate stored runs matching filters
+    index      rebuild the cross-run SQLite index from the on-disk manifests
+    compare    join two specs' stored runs and report metric ratios
+    gc         collect stale runs (dry-run by default; --apply deletes)
+
+Examples::
+
+    python -m repro run --spec darkgates --spec baseline \\
+        --scenario burst --tdp 35 --tdp 91
+    python -m repro index
+    python -m repro summarize --spec darkgates --kind dynamic --tdp 35
+    python -m repro compare --spec darkgates --spec baseline --tdp 35
+    python -m repro gc --apply
+
+The store root comes from ``--store``, the ``REPRO_STORE_DIR`` environment
+variable, or ``~/.repro_store``, in that order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.study import Study
+from repro.common.errors import ConfigurationError, ReproError
+from repro.sim.engine import ENGINE_VERSION
+from repro.store.artifacts import RunStore
+from repro.store.cache import StoreCache
+from repro.store.index import RunIndex
+from repro.workloads.dynamics import build_scenario, scenario_names
+from repro.workloads.energy import energy_star_scenario, rmt_scenario
+from repro.workloads.graphics import three_dmark_suite
+from repro.workloads.spec import spec_cpu2006_base_suite, spec_cpu2006_rate_suite
+
+#: Steady-state workload suites runnable by name from the CLI.
+SUITE_BUILDERS = {
+    "spec-base": lambda: list(spec_cpu2006_base_suite()),
+    "spec-rate": lambda: list(spec_cpu2006_rate_suite(4)),
+    "3dmark": lambda: list(three_dmark_suite()),
+    "energy": lambda: [energy_star_scenario(), rmt_scenario()],
+}
+
+
+def _parse_opt(text: str) -> Any:
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _scenario_options(pairs: Sequence[str]) -> Dict[str, Any]:
+    options: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ConfigurationError(
+                f"bad --opt {pair!r}: expected key=value (e.g. duration_s=6)"
+            )
+        options[key] = _parse_opt(value)
+    return options
+
+
+def _format_metric(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.4f}"
+
+
+# -- subcommand handlers ---------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    cache = StoreCache(store=store, seed=args.seed)
+    if bool(args.scenario) == bool(args.suite):
+        raise ConfigurationError(
+            "pick exactly one of --scenario (dynamic timeline) or --suite "
+            f"(steady-state workloads); scenarios: {sorted(scenario_names())}, "
+            f"suites: {sorted(SUITE_BUILDERS)}"
+        )
+    kwargs: Dict[str, Any] = {
+        "cache": cache,
+        "seed": args.seed,
+        "name": args.name,
+    }
+    if args.executor is not None:
+        kwargs["executor"] = args.executor
+    if args.max_workers is not None:
+        kwargs["max_workers"] = args.max_workers
+    if args.scenario:
+        options = _scenario_options(args.opt)
+        scenarios = [build_scenario(name, **options) for name in args.scenario]
+        study = Study.over_dynamics(
+            args.spec, scenarios, tdp_levels_w=args.tdp or None, **kwargs
+        )
+    else:
+        unknown = [name for name in args.suite if name not in SUITE_BUILDERS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown suite(s) {unknown}; known: {sorted(SUITE_BUILDERS)}"
+            )
+        suites = {name: SUITE_BUILDERS[name]() for name in args.suite}
+        if args.tdp:
+            study = Study.over_tdp_levels(args.spec, args.tdp, suites, **kwargs)
+        else:
+            study = Study(args.spec, suites, **kwargs)
+    result = study.run()
+    print(result.as_table())
+    served = len(study) - study.tasks_executed
+    print(
+        f"{study.tasks_executed} task(s) executed, "
+        f"{served} served from the store ({store.root})"
+    )
+    indexed = RunIndex(store).rebuild()
+    print(f"index: {indexed} run(s)")
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    index = RunIndex(RunStore(args.store))
+    if not index.exists():
+        index.rebuild()
+    manifests = index.query(
+        spec=args.spec,
+        kind=args.kind,
+        workload=args.workload,
+        tdp_w=args.tdp,
+        seed=args.seed,
+    )
+    rows = [
+        [
+            manifest.run_id[:12],
+            manifest.spec_label or "-",
+            manifest.kind,
+            manifest.workload_name,
+            "-" if manifest.tdp_w is None else f"{manifest.tdp_w:g}",
+            _format_metric(manifest.primary_metric),
+            manifest.engine_version,
+            manifest.created_at or "-",
+        ]
+        for manifest in manifests
+    ]
+    headers = "run system kind workload tdp_w metric engine created".split()
+    print(format_table(headers, rows, title=f"{len(rows)} stored run(s)"))
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    index = RunIndex(RunStore(args.store))
+    count = index.rebuild()
+    print(f"indexed {count} run(s) -> {index.path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if len(args.spec) != 2:
+        raise ConfigurationError(
+            "compare needs exactly two --spec arguments (got "
+            f"{len(args.spec)})"
+        )
+    index = RunIndex(RunStore(args.store))
+    if not index.exists():
+        index.rebuild()
+    spec_a, spec_b = args.spec
+    entries = index.compare(spec_a, spec_b, kind=args.kind, tdp_w=args.tdp)
+    rows = [
+        [
+            entry["kind"],
+            entry["workload_name"],
+            "-" if entry["tdp_w"] is None else f"{entry['tdp_w']:g}",
+            _format_metric(entry["metric_a"]),
+            _format_metric(entry["metric_b"]),
+            "-" if entry["ratio"] is None else f"{entry['ratio']:.4f}",
+        ]
+        for entry in entries
+    ]
+    print(
+        format_table(
+            ["kind", "workload", "tdp_w", spec_a, spec_b, "ratio"],
+            rows,
+            title=f"{spec_a} vs {spec_b} ({len(rows)} shared cell(s))",
+        )
+    )
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    keep_engine = None if args.all else (args.keep_engine_version or ENGINE_VERSION)
+    selected = store.gc(
+        keep_engine_version=keep_engine,
+        tier=args.tier,
+        delete_all=args.all,
+        apply=args.apply,
+    )
+    for manifest in selected:
+        print(
+            f"{'removed' if args.apply else 'would remove'} "
+            f"{manifest.run_id[:12]}  {manifest.spec_label or '-'}  "
+            f"{manifest.kind}/{manifest.workload_name}  "
+            f"engine={manifest.engine_version} tier={manifest.tier}"
+        )
+    if args.apply:
+        index = RunIndex(store)
+        if index.exists():
+            index.prune([manifest.run_id for manifest in selected])
+        print(f"removed {len(selected)} run(s)")
+    else:
+        print(
+            f"dry run: {len(selected)} run(s) selected "
+            "(pass --apply to delete)"
+        )
+    return 0
+
+
+# -- parser ----------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--store",
+        default=None,
+        help="store root (default: $REPRO_STORE_DIR or ~/.repro_store)",
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Persistent content-addressed run store for repro studies.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", parents=[common], help="execute a sweep through the store"
+    )
+    run.add_argument(
+        "--spec",
+        action="append",
+        required=True,
+        help="registered system spec name (repeatable)",
+    )
+    run.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        help=f"dynamic scenario builder name (repeatable): {sorted(scenario_names())}",
+    )
+    run.add_argument(
+        "--suite",
+        action="append",
+        default=[],
+        help=f"steady-state workload suite (repeatable): {sorted(SUITE_BUILDERS)}",
+    )
+    run.add_argument(
+        "--tdp",
+        action="append",
+        type=float,
+        default=[],
+        help="TDP level in W (repeatable)",
+    )
+    run.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario builder override, e.g. duration_s=6 or time_step_s=0.5",
+    )
+    run.add_argument("--executor", default=None, help="serial | batched | process")
+    run.add_argument("--max-workers", type=int, default=None)
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--name", default="cli-study")
+    run.set_defaults(handler=_cmd_run)
+
+    summarize = subparsers.add_parser(
+        "summarize", parents=[common], help="tabulate stored runs"
+    )
+    summarize.add_argument("--spec", default=None, help="spec name or label filter")
+    summarize.add_argument("--kind", default=None)
+    summarize.add_argument("--workload", default=None)
+    summarize.add_argument("--tdp", type=float, default=None)
+    summarize.add_argument("--seed", type=int, default=None)
+    summarize.set_defaults(handler=_cmd_summarize)
+
+    index = subparsers.add_parser(
+        "index", parents=[common], help="rebuild the SQLite index from manifests"
+    )
+    index.set_defaults(handler=_cmd_index)
+
+    compare = subparsers.add_parser(
+        "compare", parents=[common], help="join two specs' stored runs"
+    )
+    compare.add_argument(
+        "--spec", action="append", required=True, help="give exactly twice"
+    )
+    compare.add_argument("--kind", default=None)
+    compare.add_argument("--tdp", type=float, default=None)
+    compare.set_defaults(handler=_cmd_compare)
+
+    gc = subparsers.add_parser(
+        "gc", parents=[common], help="collect stale runs (dry-run by default)"
+    )
+    gc.add_argument(
+        "--all", action="store_true", help="select every stored run"
+    )
+    gc.add_argument(
+        "--keep-engine-version",
+        default=None,
+        help=f"engine version to keep (default: current, {ENGINE_VERSION})",
+    )
+    gc.add_argument("--tier", default=None, help="also select runs of this tier")
+    gc.add_argument(
+        "--apply", action="store_true", help="actually delete (default: dry run)"
+    )
+    gc.set_defaults(handler=_cmd_gc)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

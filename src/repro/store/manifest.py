@@ -1,0 +1,96 @@
+"""Run manifests: the metadata sidecar of every stored run.
+
+Each run directory holds a ``manifest.json`` describing the run — its
+content-addressed ID, the spec and workload it came from, the seed, the
+engine and library versions that produced it, a creation timestamp, a
+storage tier, and the result's headline metric.  The manifest is written
+*after* the result payload, so its presence marks a complete run: readers
+treat a directory without a (valid) manifest as in-flight or torn and skip
+it.  The cross-run SQLite index is rebuilt purely from manifests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from typing import Any, Dict, Mapping, Optional
+
+from repro.common.errors import StoreError
+
+#: Version of the manifest layout itself (not of the stored result).
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Default storage tier of a freshly-written run.  Tiers are free-form
+#: labels the gc workflow can filter on (e.g. promote runs referenced by a
+#: paper figure to ``"pinned"`` so sweeping gc passes leave them alone).
+DEFAULT_TIER = "standard"
+
+#: Manifest keys that must be present for a manifest to be valid.
+_REQUIRED_KEYS = ("run_id", "kind", "workload_name", "engine_version")
+
+
+def utc_timestamp() -> str:
+    """An ISO-8601 UTC timestamp for manifest stamping."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def repro_version() -> str:
+    """The library version, resolved lazily to avoid an import cycle."""
+    from repro import __version__
+
+    return __version__
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Metadata describing one persisted run.
+
+    Spec-derived fields (``spec_name``, ``spec_label``, ``sku``,
+    ``tdp_w``) are ``None`` for callable tasks, which carry no spec; the
+    ``workload_name`` of a callable task is its task key.
+    """
+
+    run_id: str
+    kind: str
+    workload_name: str
+    engine_version: str
+    repro_version: str
+    spec_name: Optional[str] = None
+    spec_label: Optional[str] = None
+    sku: Optional[str] = None
+    tdp_w: Optional[float] = None
+    seed: Optional[int] = None
+    primary_metric: Optional[float] = None
+    tier: str = DEFAULT_TIER
+    created_at: str = ""
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload describing this manifest."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from a :meth:`to_dict` payload.
+
+        Raises :class:`~repro.common.errors.StoreError` when the payload is
+        torn (missing required keys) or written by a newer manifest schema.
+        """
+        if not isinstance(data, Mapping):
+            raise StoreError(
+                f"manifest payload must be a mapping, got {type(data).__name__}"
+            )
+        missing = [key for key in _REQUIRED_KEYS if key not in data]
+        if missing:
+            raise StoreError(f"manifest is missing required keys {missing}")
+        version = data.get("schema_version", MANIFEST_SCHEMA_VERSION)
+        if not isinstance(version, int) or version > MANIFEST_SCHEMA_VERSION:
+            raise StoreError(
+                f"manifest schema version {version!r} is newer than this "
+                f"library understands (<= {MANIFEST_SCHEMA_VERSION})"
+            )
+        known = {field for field in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise StoreError(f"manifest has unknown keys {sorted(unknown)}")
+        return cls(**dict(data))

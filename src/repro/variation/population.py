@@ -34,7 +34,11 @@ from repro.common.errors import ConfigurationError
 from repro.core.spec import SystemSpec, build_engine, resolve_spec
 from repro.pmu.dvfs import LimitingFactor
 from repro.sim.engine import SimulationEngine
-from repro.sim.metrics import DynamicRunResult
+from repro.sim.metrics import (
+    RESULT_SCHEMA_VERSION,
+    DynamicRunResult,
+    check_payload_schema,
+)
 from repro.variation.binning import (
     SCRAP_BIN,
     BinningPolicy,
@@ -230,6 +234,7 @@ class PopulationCellResult:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe payload describing this cell."""
         return {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "spec": self.spec.to_dict(),
             "scenario_name": self.scenario_name,
             "time_step_s": self.time_step_s,
@@ -258,6 +263,7 @@ class PopulationCellResult:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PopulationCellResult":
         """Rebuild a cell from a :meth:`to_dict` payload."""
+        check_payload_schema(dict(data), "population cell")
         return cls(
             spec=SystemSpec.from_dict(data["spec"]),
             scenario_name=data["scenario_name"],
@@ -297,6 +303,7 @@ class SpecBinningResult:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe payload describing this binning."""
         return {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "spec_name": self.spec_name,
             "assignments": list(self.assignments),
             "report": self.report.to_dict(),
@@ -305,6 +312,7 @@ class SpecBinningResult:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SpecBinningResult":
         """Rebuild a binning result from a :meth:`to_dict` payload."""
+        check_payload_schema(dict(data), "spec binning")
         return cls(
             spec_name=data["spec_name"],
             assignments=tuple(int(a) for a in data["assignments"]),
@@ -400,6 +408,7 @@ class PopulationResult:
         """Serialise this result to a JSON document."""
         payload = {
             "name": self.name,
+            "schema_version": RESULT_SCHEMA_VERSION,
             "seed": self.seed,
             "count": self.count,
             "method": self.method,
@@ -408,12 +417,13 @@ class PopulationResult:
             "cells": [cell.to_dict() for cell in self.cells],
             "binning": [binning.to_dict() for binning in self.binning],
         }
-        return json.dumps(payload, indent=indent)
+        return json.dumps(payload, indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "PopulationResult":
         """Rebuild a population result from :meth:`to_json` output."""
         payload = json.loads(text)
+        check_payload_schema(payload, "population result")
         return cls(
             name=payload["name"],
             seed=payload["seed"],

@@ -287,3 +287,41 @@ def sprint_and_rest_scenario(
         )
         phases.append(DynamicPhase(name=f"rest{cycle}", duration_s=rest_s))
     return DynamicScenario(name=name, phases=tuple(phases), **overrides)
+
+
+# -- scenario registry ------------------------------------------------------------------
+
+#: Name -> builder for every canonical dynamic scenario, so callers that
+#: only hold a string (the ``python -m repro`` CLI, config files) can build
+#: the same scenarios the examples use.
+SCENARIO_BUILDERS = {
+    "sustained": sustained_scenario,
+    "burst": burst_scenario,
+    "sprint_and_rest": sprint_and_rest_scenario,
+}
+
+
+def scenario_names() -> List[str]:
+    """The names :func:`build_scenario` accepts, sorted."""
+    return sorted(SCENARIO_BUILDERS)
+
+
+def build_scenario(name: str, **overrides) -> DynamicScenario:
+    """Build a registered dynamic scenario by name.
+
+    *overrides* are passed straight to the builder, so both builder knobs
+    (``burst_s=10``) and :class:`DynamicScenario` fields routed through the
+    builder's ``**overrides`` (``time_step_s=0.5``) work.
+    """
+    builder = SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown dynamic scenario {name!r}; known scenarios: "
+            f"{', '.join(scenario_names())}"
+        )
+    try:
+        return builder(**overrides)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad options for scenario {name!r}: {exc}"
+        ) from exc

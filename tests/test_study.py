@@ -143,6 +143,15 @@ def test_resolve_executor():
         ProcessExecutor(max_workers=0)
 
 
+def test_resolve_executor_validates_max_workers():
+    for name in ("serial", "batched", "process"):
+        with pytest.raises(ConfigurationError, match="max_workers must be >= 1"):
+            resolve_executor(name, max_workers=0)
+        with pytest.raises(ConfigurationError, match="max_workers must be >= 1"):
+            resolve_executor(name, max_workers=-2)
+    assert isinstance(resolve_executor("serial", max_workers=2), SerialExecutor)
+
+
 def test_process_pool_four_tdp_sweep_with_caching():
     """Acceptance: a 4-TDP SPEC sweep through the process pool, cached."""
     suite = _small_suite()
