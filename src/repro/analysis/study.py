@@ -384,7 +384,9 @@ class StudyResult:
         if self.seed is not None:
             payload["seed"] = self.seed
         try:
-            return json.dumps(payload, indent=indent, sort_keys=True)
+            return json.dumps(
+                payload, indent=indent, sort_keys=True, allow_nan=False
+            )
         except TypeError as error:
             raise ConfigurationError(
                 f"study {self.name!r} holds a non-JSON-serialisable task "

@@ -1,0 +1,13 @@
+"""Developer tooling for the repro codebase.
+
+Unlike every other package in the library, :mod:`repro.devtools` operates on
+the *source tree* rather than on models: it hosts the static-analysis pass
+(:mod:`repro.devtools.lint`) that machine-checks the determinism and
+layering invariants the run store depends on.  It may import
+:mod:`repro.common` and nothing else, so that linting never drags the
+numeric stack (or numpy) into the process.
+"""
+
+from repro.devtools.lint import Diagnostic, LintReport, lint_paths
+
+__all__ = ["Diagnostic", "LintReport", "lint_paths"]

@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.lint`` — standalone analyzer entry point."""
+
+import sys
+
+from repro.devtools.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

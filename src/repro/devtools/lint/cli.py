@@ -1,0 +1,137 @@
+"""The ``python -m repro lint`` front end.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` configuration error (the
+shared :mod:`repro.store.cli` entry point maps :class:`ReproError` to 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.devtools.lint.config import load_config
+from repro.devtools.lint.registry import RULES, get_rule
+from repro.devtools.lint.runner import lint_paths
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint arguments to *parser* (shared with ``-m repro``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files/directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--json-report",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable report to PATH (CI artifact)",
+    )
+    parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="CODE",
+        help="print the full rationale of one rule code and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule code with its one-line summary and exit",
+    )
+    parser.add_argument(
+        "--pyproject",
+        default=None,
+        metavar="PATH",
+        help="contract file (default: nearest pyproject.toml above the paths)",
+    )
+    parser.add_argument(
+        "--scope",
+        choices=("auto", "library", "tests"),
+        default="auto",
+        help=(
+            "rule scope: auto classifies per file, library/tests force one "
+            "(default: auto)"
+        ),
+    )
+
+
+def _explain(code: str) -> int:
+    rule = get_rule(code)
+    print(f"{rule.code} ({rule.name}) — {rule.summary}")
+    print()
+    print(rule.explanation)
+    print()
+    print(
+        f"Suppress on one line with: # repro-lint: disable={rule.code} "
+        "-- <rationale>"
+    )
+    return 0
+
+
+def _list_rules() -> int:
+    for code in sorted(RULES):
+        rule = RULES[code]
+        scopes = "+".join(sorted(rule.scopes))
+        print(f"{code}  [{scopes:13s}]  {rule.summary}")
+    return 0
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the exit code."""
+    if args.explain is not None:
+        return _explain(args.explain)
+    if args.list_rules:
+        return _list_rules()
+    config = None
+    if args.pyproject is not None:
+        config = load_config(args.pyproject)
+    report = lint_paths(args.paths, config=config, scope=args.scope)
+    if args.json_report is not None:
+        _write_json(Path(args.json_report), report)
+    if args.format == "json":
+        print(_render_json(report))
+    else:
+        print(report.format_text())
+    return 0 if report.clean else 1
+
+
+def _render_json(report) -> str:
+    import json
+
+    return json.dumps(
+        report.to_dict(), indent=2, sort_keys=True, allow_nan=False
+    )
+
+
+def _write_json(path: Path, report) -> None:
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_render_json(report) + "\n")
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Determinism/invariant static analysis for the repro tree.",
+    )
+    add_arguments(parser)
+    try:
+        return run(parser.parse_args(argv))
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

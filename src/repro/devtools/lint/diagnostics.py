@@ -1,0 +1,74 @@
+"""Diagnostic records emitted by the analyzer.
+
+A diagnostic pins one finding to a ``path:line:column`` location with its
+stable rule code.  Codes never change meaning between releases: tooling
+(CI annotations, suppression comments, ``--explain``) keys on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+#: Version of the machine-readable (JSON) report layout.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule code anchored to a source location."""
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """The human-readable one-liner, ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload of this diagnostic."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one analyzer invocation."""
+
+    diagnostics: Sequence[Diagnostic]
+    files_scanned: int
+
+    @property
+    def clean(self) -> bool:
+        """True when no diagnostic fired."""
+        return not self.diagnostics
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (uploaded as the CI lint artifact)."""
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "files_scanned": self.files_scanned,
+            "finding_count": len(self.diagnostics),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def format_text(self) -> str:
+        """The human-readable report: one line per finding plus a summary."""
+        lines: List[str] = [d.format() for d in self.diagnostics]
+        noun = "file" if self.files_scanned == 1 else "files"
+        if self.diagnostics:
+            lines.append(
+                f"{len(self.diagnostics)} finding(s) in "
+                f"{self.files_scanned} {noun}"
+            )
+        else:
+            lines.append(f"clean: {self.files_scanned} {noun}, 0 findings")
+        return "\n".join(lines)

@@ -1,0 +1,192 @@
+"""Analyzer driver: gather files, run rules, apply suppressions.
+
+Each file is read and parsed exactly once; per-file rules, the project-wide
+canonical-fields pass (RPR004), and the layering checker (RPR008/RPR009)
+all share the parse.  Findings funnel through the file's suppression set
+before becoming :class:`~repro.devtools.lint.diagnostics.Diagnostic`s, so
+a suppressed finding still marks its suppression as used.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.common.errors import ConfigurationError
+from repro.devtools.lint.config import LintConfig, discover_config
+from repro.devtools.lint.diagnostics import Diagnostic, LintReport
+from repro.devtools.lint.layering import (
+    ModuleImports,
+    check_layering,
+    collect_runtime_imports,
+    module_name_for,
+)
+from repro.devtools.lint.rules import (
+    Finding,
+    check_canonical_fields,
+    check_file,
+)
+from repro.devtools.lint.suppressions import (
+    SuppressionSet,
+    apply_suppressions,
+    scan_suppressions,
+)
+
+PathLike = Union[str, Path]
+
+
+def gather_files(
+    paths: Sequence[PathLike], exclude: Sequence[str] = ()
+) -> List[Path]:
+    """Expand *paths* into a sorted list of ``.py`` files.
+
+    Directory arguments are walked recursively, skipping ``__pycache__``
+    and any directory named in *exclude* (fixture corpora of
+    deliberately-bad snippets).  File arguments are always included, so
+    the fixture tests can still lint excluded files explicitly.
+    """
+    skip = {"__pycache__", *exclude}
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not skip.intersection(candidate.parts)
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+    unique: Dict[Path, None] = {}
+    for file in files:
+        unique.setdefault(file.resolve(), None)
+    return sorted(unique)
+
+
+class _SourceFile:
+    """One parsed input file plus its per-file analysis state."""
+
+    def __init__(self, path: Path, display: str, module: Optional[str], scope: str):
+        self.path = path
+        self.display = display
+        self.module = module
+        self.scope = scope
+        self.tree: Optional[ast.Module] = None
+        self.findings: List[Finding] = []
+        self.suppressions = SuppressionSet()
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    *,
+    config: Optional[LintConfig] = None,
+    scope: str = "auto",
+    relative_to: Optional[PathLike] = None,
+) -> LintReport:
+    """Run the full analysis over *paths* and return the report.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to analyze.
+    config:
+        Explicit contract; defaults to discovering the nearest
+        pyproject.toml above the first path.
+    scope:
+        ``"auto"`` classifies each file (library when it resolves to a
+        module under the configured package, tests otherwise); pass
+        ``"library"`` or ``"tests"`` to force one classification — the
+        fixture tests use this to run library rules on snippet files.
+    relative_to:
+        Base directory diagnostics paths are printed relative to
+        (defaults to the current directory when possible).
+    """
+    if scope not in ("auto", "library", "tests"):
+        raise ConfigurationError(
+            f"scope must be 'auto', 'library' or 'tests', got {scope!r}"
+        )
+    if not paths:
+        raise ConfigurationError("no Python files to lint under the given paths")
+    if config is None:
+        config = discover_config(Path(paths[0]))
+    files = gather_files(paths, exclude=config.exclude)
+    if not files:
+        raise ConfigurationError("no Python files to lint under the given paths")
+    base = Path(relative_to).resolve() if relative_to is not None else Path.cwd()
+
+    sources: List[_SourceFile] = []
+    diagnostics: List[Diagnostic] = []
+    for path in files:
+        try:
+            display = str(path.relative_to(base))
+        except ValueError:
+            display = str(path)
+        module = module_name_for(path, config.package)
+        file_scope = scope
+        if scope == "auto":
+            file_scope = "library" if module is not None else "tests"
+        sources.append(_SourceFile(path, display, module, file_scope))
+
+    modules: List[ModuleImports] = []
+    parsed_library: List[tuple] = []
+    for source in sources:
+        text = source.path.read_text()
+        try:
+            source.tree = ast.parse(text, filename=source.display)
+        except SyntaxError as error:
+            diagnostics.append(
+                Diagnostic(
+                    source.display,
+                    error.lineno or 1,
+                    (error.offset or 1) - 1,
+                    "RPR000",
+                    f"cannot parse file: {error.msg}",
+                )
+            )
+            continue
+        source.findings = check_file(
+            source.tree, source.module, source.scope, config
+        )
+        if source.scope == "library":
+            parsed_library.append((source.display, source.tree))
+            if source.module is not None:
+                modules.append(
+                    collect_runtime_imports(
+                        source.tree,
+                        source.module,
+                        source.display,
+                        config.package,
+                        is_package=source.path.name == "__init__.py",
+                    )
+                )
+        source.suppressions = scan_suppressions(text)
+
+    for project_findings in (
+        check_canonical_fields(parsed_library, config),
+        check_layering(modules, config),
+    ):
+        by_display = {source.display: source for source in sources}
+        for display, findings in project_findings.items():
+            target = by_display.get(display)
+            if target is not None:
+                target.findings.extend(findings)
+
+    for source in sources:
+        if source.tree is None:
+            continue
+        file_diagnostics = [
+            Diagnostic(source.display, f.line, f.column, f.code, f.message)
+            for f in source.findings
+        ]
+        diagnostics.extend(
+            apply_suppressions(
+                source.display, file_diagnostics, source.suppressions
+            )
+        )
+
+    return LintReport(
+        diagnostics=tuple(sorted(diagnostics)), files_scanned=len(sources)
+    )

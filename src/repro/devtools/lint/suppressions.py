@@ -1,0 +1,147 @@
+"""Line suppressions: ``# repro-lint: disable=RPRnnn -- rationale``.
+
+A suppression silences named rule codes *on its own line only* and must
+carry a rationale after ``--`` — the comment is the audit record of why a
+finding is acceptable.  Comments are discovered with :mod:`tokenize`, so
+string literals that merely contain the marker text never parse as
+suppressions.  Malformed, unknown-code, and unused suppressions are
+themselves findings (RPR000).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.devtools.lint.diagnostics import Diagnostic
+from repro.devtools.lint.registry import RULES
+
+#: Leading marker of a suppression comment.
+MARKER = "repro-lint:"
+
+_DIRECTIVE = re.compile(
+    r"^#\s*repro-lint:\s*disable=(?P<codes>[^-]*?)\s*(?:--\s*(?P<rationale>.*))?$"
+)
+
+_CODE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass
+class SuppressionSet:
+    """The parsed suppressions of one file."""
+
+    #: (line, code) pairs that silence a diagnostic.
+    active: Set[Tuple[int, str]] = field(default_factory=set)
+    #: Findings about the suppression comments themselves.
+    problems: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: (line, code) -> was consumed by at least one diagnostic.
+    used: Dict[Tuple[int, str], bool] = field(default_factory=dict)
+
+    def suppresses(self, line: int, code: str) -> bool:
+        """Consume a suppression for (*line*, *code*) if one is active.
+
+        RPR000 findings are never suppressible: they report problems with
+        the suppression mechanism itself.
+        """
+        if code == "RPR000":
+            return False
+        key = (line, code)
+        if key in self.active:
+            self.used[key] = True
+            return True
+        return False
+
+    def unused(self) -> List[Tuple[int, str]]:
+        """Suppressions that silenced nothing, sorted by line."""
+        return sorted(key for key, consumed in self.used.items() if not consumed)
+
+
+def scan_suppressions(source: str) -> SuppressionSet:
+    """Parse every suppression comment of *source*."""
+    suppressions = SuppressionSet()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The caller reports the parse failure; nothing to scan here.
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT or MARKER not in token.string:
+            continue
+        line, column = token.start
+        match = _DIRECTIVE.match(token.string.strip())
+        if match is None:
+            suppressions.problems.append(
+                (
+                    line,
+                    column,
+                    "malformed suppression comment; expected "
+                    "'# repro-lint: disable=RPRnnn -- rationale'",
+                )
+            )
+            continue
+        rationale = (match.group("rationale") or "").strip()
+        if not rationale:
+            suppressions.problems.append(
+                (
+                    line,
+                    column,
+                    "suppression is missing its rationale; append "
+                    "'-- <why this finding is acceptable>'",
+                )
+            )
+            continue
+        codes = [code.strip() for code in match.group("codes").split(",")]
+        valid: List[str] = []
+        for code in codes:
+            if not _CODE.match(code) or code not in RULES:
+                suppressions.problems.append(
+                    (
+                        line,
+                        column,
+                        f"suppression names unknown rule code {code!r}; "
+                        f"known: {', '.join(sorted(RULES))}",
+                    )
+                )
+            elif code == "RPR000":
+                suppressions.problems.append(
+                    (line, column, "RPR000 (suppression hygiene) cannot be suppressed")
+                )
+            else:
+                valid.append(code)
+        for code in valid:
+            suppressions.active.add((line, code))
+            suppressions.used[(line, code)] = False
+    return suppressions
+
+
+def apply_suppressions(
+    path: str,
+    diagnostics: List[Diagnostic],
+    suppressions: SuppressionSet,
+) -> List[Diagnostic]:
+    """Filter *diagnostics* through *suppressions* and report hygiene issues.
+
+    Returns the surviving diagnostics plus one RPR000 per malformed or
+    unused suppression.
+    """
+    survivors = [
+        diagnostic
+        for diagnostic in diagnostics
+        if not suppressions.suppresses(diagnostic.line, diagnostic.code)
+    ]
+    for line, column, message in suppressions.problems:
+        survivors.append(Diagnostic(path, line, column, "RPR000", message))
+    for line, code in suppressions.unused():
+        survivors.append(
+            Diagnostic(
+                path,
+                line,
+                0,
+                "RPR000",
+                f"unused suppression: no {code} finding fires on this line",
+            )
+        )
+    return survivors

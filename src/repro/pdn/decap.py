@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_non_negative, ensure_positive
 from repro.pdn.elements import Capacitor
 
@@ -44,7 +45,7 @@ class CapacitorBank:
         ensure_non_negative(self.unit_esr_ohm, "unit_esr_ohm")
         ensure_non_negative(self.unit_esl_h, "unit_esl_h")
         if self.count < 1:
-            raise ValueError(f"count must be >= 1, got {self.count}")
+            raise ConfigurationError(f"count must be >= 1, got {self.count}")
 
     # -- aggregation ---------------------------------------------------------------
 
@@ -78,7 +79,7 @@ class CapacitorBank:
         domains in the baseline (gated) PDN topology.
         """
         if parts < 1:
-            raise ValueError(f"parts must be >= 1, got {parts}")
+            raise ConfigurationError(f"parts must be >= 1, got {parts}")
         return CapacitorBank(
             name=f"{self.name}_split{parts}",
             unit_capacitance_f=self.unit_capacitance_f,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_non_negative, ensure_positive
 
 
@@ -58,7 +59,7 @@ class Uncore:
             ensure_non_negative(value, name)
         for shallower, deeper in zip(powers, powers[1:]):
             if deeper > shallower + 1e-12:
-                raise ValueError(
+                raise ConfigurationError(
                     "uncore package C-state powers must be non-increasing with depth"
                 )
 
@@ -81,4 +82,7 @@ class Uncore:
         try:
             return mapping[cstate_name.upper()]
         except KeyError as exc:
-            raise ValueError(f"unknown package C-state {cstate_name!r}") from exc
+            raise ConfigurationError(
+                f"unknown package C-state {cstate_name!r}; "
+                f"known: {sorted(mapping)}"
+            ) from exc

@@ -82,7 +82,10 @@ def encode_value(value: Any) -> Dict[str, Any]:
         payload = {"codec": "population", "value": json.loads(value.to_json())}
     else:
         try:
-            faithful = json.loads(json.dumps(value, allow_nan=False)) == value
+            faithful = (
+                json.loads(json.dumps(value, sort_keys=True, allow_nan=False))
+                == value
+            )
         except (TypeError, ValueError):
             faithful = False
         if not faithful:
@@ -118,7 +121,9 @@ def decode_value(payload: Dict[str, Any]) -> Any:
     if codec == "spec_binning":
         return SpecBinningResult.from_dict(value)
     if codec == "population":
-        return PopulationResult.from_json(json.dumps(value))
+        return PopulationResult.from_json(
+            json.dumps(value, sort_keys=True, allow_nan=False)
+        )
     if codec == "json":
         return value
     raise StoreError(f"unknown store codec {codec!r}")
@@ -159,7 +164,10 @@ class RunStore:
     def _write_atomic(self, path: Path, text: str) -> None:
         """Write *text* to *path* via a same-directory temp file + rename."""
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        tmp = path.parent / (
+            f".{path.name}.{os.getpid()}."
+            f"{uuid.uuid4().hex}.tmp"  # repro-lint: disable=RPR002 -- temp-file name uniqueness only; the name never reaches a result, manifest, or fingerprint
+        )
         try:
             tmp.write_text(text)
             os.replace(tmp, path)
@@ -178,11 +186,12 @@ class RunStore:
         run_dir = self.run_dir(manifest.run_id)
         payload = encode_value(value)
         self._write_atomic(
-            run_dir / RESULT_FILENAME, json.dumps(payload, sort_keys=True)
+            run_dir / RESULT_FILENAME,
+            json.dumps(payload, sort_keys=True, allow_nan=False),
         )
         self._write_atomic(
             run_dir / MANIFEST_FILENAME,
-            json.dumps(manifest.to_dict(), sort_keys=True),
+            json.dumps(manifest.to_dict(), sort_keys=True, allow_nan=False),
         )
         return manifest
 

@@ -110,7 +110,7 @@ class StoreCache(MutableMapping[StudyTask, Any]):
             return self._memory[task]
         run_id = self.run_id(task)
         if run_id not in self._store:
-            raise KeyError(task)
+            raise KeyError(task)  # repro-lint: disable=RPR005 -- MutableMapping.__getitem__ protocol; Study(cache=...) relies on the mapping contract
         try:
             value = self._store.load_value(run_id)
         except StoreError as error:
@@ -118,7 +118,7 @@ class StoreCache(MutableMapping[StudyTask, Any]):
                 f"re-running task {run_id[:12]}…: {error}",
                 stacklevel=2,
             )
-            raise KeyError(task) from None
+            raise KeyError(task) from None  # repro-lint: disable=RPR005 -- MutableMapping.__getitem__ protocol; a corrupt artifact must read as a cache miss
         self._memory[task] = value
         return value
 
@@ -142,7 +142,7 @@ class StoreCache(MutableMapping[StudyTask, Any]):
         if run_id in self._store:
             self._store.delete(run_id)
         elif not found:
-            raise KeyError(task)
+            raise KeyError(task)  # repro-lint: disable=RPR005 -- MutableMapping.__delitem__ protocol
 
     def __iter__(self) -> Iterator[StudyTask]:
         return iter(self._memory)

@@ -8,6 +8,8 @@ Subcommands::
     index      rebuild the cross-run SQLite index from the on-disk manifests
     compare    join two specs' stored runs and report metric ratios
     gc         collect stale runs (dry-run by default; --apply deletes)
+    lint       static determinism/invariant analysis of the source tree
+               (see :mod:`repro.devtools.lint`)
 
 Examples::
 
@@ -17,6 +19,8 @@ Examples::
     python -m repro summarize --spec darkgates --kind dynamic --tdp 35
     python -m repro compare --spec darkgates --spec baseline --tdp 35
     python -m repro gc --apply
+    python -m repro lint src/repro tests --json-report lint-report.json
+    python -m repro lint --explain RPR003
 
 The store root comes from ``--store``, the ``REPRO_STORE_DIR`` environment
 variable, or ``~/.repro_store``, in that order.
@@ -31,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.analysis.study import Study
 from repro.common.errors import ConfigurationError, ReproError
+from repro.devtools.lint import cli as lint_cli
 from repro.sim.engine import ENGINE_VERSION
 from repro.store.artifacts import RunStore
 from repro.store.cache import StoreCache
@@ -321,6 +326,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--apply", action="store_true", help="actually delete (default: dry run)"
     )
     gc.set_defaults(handler=_cmd_gc)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static determinism/invariant analysis (repro.devtools.lint)",
+        description=(
+            "AST-based analyzer enforcing seed discipline, canonical "
+            "JSON/hashing, the ReproError contract, and the import-layering "
+            "contract of pyproject.toml.  Exit 0 clean, 1 findings."
+        ),
+    )
+    lint_cli.add_arguments(lint)
+    lint.set_defaults(handler=lint_cli.run)
     return parser
 
 

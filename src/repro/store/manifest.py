@@ -31,7 +31,9 @@ _REQUIRED_KEYS = ("run_id", "kind", "workload_name", "engine_version")
 
 def utc_timestamp() -> str:
     """An ISO-8601 UTC timestamp for manifest stamping."""
-    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+    return datetime.now(  # repro-lint: disable=RPR002 -- created_at is provenance metadata; run IDs hash spec x workload x seed x engine only
+        timezone.utc
+    ).isoformat(timespec="seconds")
 
 
 def repro_version() -> str:

@@ -65,7 +65,9 @@ def __getattr__(name: str):
         from repro.variation import population
 
         return getattr(population, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    raise AttributeError(  # repro-lint: disable=RPR005 -- PEP 562 module __getattr__ protocol requires AttributeError
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 __all__ = [

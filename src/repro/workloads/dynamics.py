@@ -22,7 +22,7 @@ concrete timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, List, Optional, Tuple
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.validation import ensure_in_range, ensure_positive
@@ -294,7 +294,7 @@ def sprint_and_rest_scenario(
 #: Name -> builder for every canonical dynamic scenario, so callers that
 #: only hold a string (the ``python -m repro`` CLI, config files) can build
 #: the same scenarios the examples use.
-SCENARIO_BUILDERS = {
+SCENARIO_BUILDERS: Dict[str, Callable[..., DynamicScenario]] = {
     "sustained": sustained_scenario,
     "burst": burst_scenario,
     "sprint_and_rest": sprint_and_rest_scenario,

@@ -1,0 +1,18 @@
+"""Bad fixture: every seed-discipline violation RPR001 catches.
+
+Expected findings: 5 (stdlib random import, global numpy seed, global
+numpy draw, unseeded default_rng, unseeded SeedSequence).
+"""
+
+import random
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+
+def draw():
+    np.random.seed(1234)
+    values = np.random.normal(size=4)
+    rng = default_rng()
+    sequence = SeedSequence()
+    return random.choice(["a", "b"]), values, rng, sequence

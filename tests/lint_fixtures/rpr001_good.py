@@ -1,0 +1,11 @@
+"""Good fixture: every random draw flows from an explicit, recorded seed."""
+
+from numpy.random import SeedSequence, default_rng
+
+
+def draw(seed: int):
+    rng = default_rng(seed)
+    keyword = default_rng(seed=seed)
+    sequence = SeedSequence(entropy=seed)
+    explicit = SeedSequence(seed)
+    return rng, keyword, sequence, explicit

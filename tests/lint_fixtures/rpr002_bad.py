@@ -1,0 +1,19 @@
+"""Bad fixture: wall-clock reads, OS entropy, and id() feeding hashes.
+
+Expected findings: 5 (time.time, datetime.now, os.urandom, id() inside
+hash(), id() inside hashlib.sha256()).
+"""
+
+import hashlib
+import os
+import time
+from datetime import datetime
+
+
+def stamp(payload: bytes):
+    started = time.time()
+    now = datetime.now()
+    noise = os.urandom(8)
+    token = hash(id(payload))
+    digest = hashlib.sha256(str(id(payload)).encode()).hexdigest()
+    return started, now, noise, token, digest

@@ -1,0 +1,9 @@
+"""Good fixture: timestamps arrive as inputs; hashes see only values."""
+
+import hashlib
+
+
+def stamp(started_s: float, payload: bytes):
+    token = hash((payload, started_s))
+    digest = hashlib.sha256(payload).hexdigest()
+    return token, digest

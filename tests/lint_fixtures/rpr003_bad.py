@@ -1,0 +1,17 @@
+"""Bad fixture: JSON writes that will not serialize canonically.
+
+Expected findings: 3 (dumps missing both kwargs, dumps missing
+allow_nan=False, dump missing sort_keys=True).
+"""
+
+import json
+
+
+def encode(payload):
+    loose = json.dumps(payload)
+    half = json.dumps(payload, sort_keys=True)
+    return loose, half
+
+
+def write(payload, stream):
+    json.dump(payload, stream, allow_nan=False)

@@ -1,0 +1,13 @@
+"""Good fixture: canonical dumps, plus **kwargs the analyzer must skip."""
+
+import json
+
+
+def encode(payload, **overrides):
+    canonical = json.dumps(payload, sort_keys=True, allow_nan=False)
+    forwarded = json.dumps(payload, **overrides)
+    return canonical, forwarded
+
+
+def write(payload, stream):
+    json.dump(payload, stream, sort_keys=True, allow_nan=False)

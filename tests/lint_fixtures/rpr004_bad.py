@@ -1,0 +1,22 @@
+"""Bad fixture: fingerprinted frozen dataclasses with uncanonical fields.
+
+The test configures ``fingerprint-roots = ["FixtureSpec"]``; FixtureChild
+is reachable through the ``child`` annotation.  Expected findings: 3
+(non-str mapping key, set-typed field, mutable default_factory).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass(frozen=True)
+class FixtureChild:
+    weights: Dict[int, float]
+    flags: Set[str]
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    name: str
+    child: FixtureChild
+    history: List[str] = field(default_factory=list)

@@ -1,0 +1,26 @@
+"""Good fixture: canonicalizable fields, and out-of-scope dataclasses.
+
+``ScratchState`` has uncanonical annotations but is neither frozen nor
+reachable from a fingerprint root, so RPR004 must stay silent on it.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class FixtureChild:
+    weights: Dict[str, float]
+    flags: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    name: str
+    child: FixtureChild
+    history: Tuple[str, ...] = ()
+
+
+@dataclass
+class ScratchState:
+    seen: Optional[Set[int]] = None

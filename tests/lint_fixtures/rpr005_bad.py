@@ -1,0 +1,12 @@
+"""Bad fixture: builtin raises in library code.
+
+Expected findings: 3 (KeyError, ValueError, bare RuntimeError).
+"""
+
+
+def pick(mapping, key):
+    if key not in mapping:
+        raise KeyError(key)
+    if not mapping:
+        raise ValueError("empty mapping")
+    raise RuntimeError

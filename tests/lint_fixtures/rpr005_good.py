@@ -1,0 +1,13 @@
+"""Good fixture: ReproError-derived raises; NotImplementedError is allowed."""
+
+from repro.common.errors import ConfigurationError
+
+
+def pick(mapping, key):
+    if key not in mapping:
+        raise ConfigurationError(f"unknown key {key!r}")
+    return mapping[key]
+
+
+def abstract_hook():
+    raise NotImplementedError("subclasses choose the policy")

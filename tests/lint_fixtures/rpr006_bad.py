@@ -1,0 +1,11 @@
+"""Bad fixture: internal import of a deprecated factory shim.
+
+Expected findings: 1 (the test configures ``deprecated-factories =
+["darkgates_system"]`` and this file is not on the allowlist).
+"""
+
+from repro.core.darkgates import darkgates_system
+
+
+def build():
+    return darkgates_system()

@@ -1,0 +1,7 @@
+"""Good fixture: systems are built through the spec registry."""
+
+from repro.core.spec import get_spec
+
+
+def build():
+    return get_spec("darkgates").build()

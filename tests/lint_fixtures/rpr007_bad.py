@@ -1,0 +1,12 @@
+"""Bad fixture: a persisted result payload without a schema version.
+
+Expected findings: 1 (FixtureResult.to_dict never emits schema_version).
+"""
+
+
+class FixtureResult:
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self):
+        return {"value": self.value}

@@ -1,0 +1,32 @@
+"""Good fixture: the three accepted to_dict shapes.
+
+A literal ``schema_version`` key, an ``asdict`` payload whose dataclass
+carries a ``schema_version`` field, and an abstract hook that only raises
+NotImplementedError.
+"""
+
+from dataclasses import asdict, dataclass
+
+SCHEMA_VERSION = 3
+
+
+class FixtureResult:
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self):
+        return {"schema_version": SCHEMA_VERSION, "value": self.value}
+
+
+@dataclass(frozen=True)
+class FieldManifest:
+    schema_version: int = 1
+    value: float = 0.0
+
+    def to_dict(self):
+        return asdict(self)
+
+
+class AbstractResult:
+    def to_dict(self):
+        raise NotImplementedError

@@ -1,0 +1,13 @@
+"""Suppression-hygiene violations: each comment here earns an RPR000.
+
+Expected findings: 3 (missing rationale, unknown rule code, unused
+suppression).
+"""
+
+
+def fallback(mapping, key):
+    # repro-lint: disable=RPR005
+    value = mapping.get(key)
+    # repro-lint: disable=RPR999 -- no such rule code exists
+    # repro-lint: disable=RPR003 -- nothing on this line triggers RPR003
+    return value

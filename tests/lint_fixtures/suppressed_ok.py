@@ -1,0 +1,7 @@
+"""A violation silenced by a well-formed, consumed suppression."""
+
+
+def fallback(mapping, key):
+    if key not in mapping:
+        raise KeyError(key)  # repro-lint: disable=RPR005 -- fixture proves a consumed suppression is silent
+    return mapping[key]

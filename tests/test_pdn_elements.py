@@ -135,7 +135,7 @@ def test_bank_scaled():
 
 
 def test_bank_rejects_zero_count():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         CapacitorBank(
             name="bad", unit_capacitance_f=1e-6, unit_esr_ohm=0.0, unit_esl_h=0.0, count=0
         )

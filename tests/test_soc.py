@@ -106,12 +106,12 @@ def test_uncore_idle_power_decreases_with_state_depth():
 
 
 def test_uncore_unknown_state_raises():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError, match="C99"):
         Uncore().package_idle_power_w("C99")
 
 
 def test_uncore_rejects_non_monotonic_idle_powers():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError, match="non-increasing"):
         Uncore(c3_power_w=0.1, c6_power_w=0.5)
 
 
