@@ -9,6 +9,12 @@ benchmark's headline speedup against the numbers committed in
 ``benchmarks/baseline.json``, failing when a fast path regresses by more
 than the allowed factor (2x by default).
 
+Benchmarks can also gauge **peak memory**: an artifact key starting with
+``peak_mb`` (the streaming population's tracemalloc gauge) is gated the
+other way around — the run fails when current peak memory *grows* more
+than the allowed factor above the baseline, guarding the O(shard) bounded
+-memory guarantee the same way the speedup gate guards the fast paths.
+
 Usage::
 
     # after running the benchmark harnesses:
@@ -56,6 +62,14 @@ def headline_speedup(payload: Dict) -> Optional[float]:
     return None
 
 
+def headline_memory(payload: Dict) -> Optional[float]:
+    """The artifact's memory gauge: its first ``peak_mb*`` key, in MB."""
+    for key in sorted(payload):
+        if key.startswith("peak_mb"):
+            return float(payload[key])
+    return None
+
+
 def load_artifacts(output_dir: Path) -> Dict[str, Dict]:
     """Benchmark key -> artifact payload for every timing JSON in *output_dir*."""
     artifacts: Dict[str, Dict] = {}
@@ -93,6 +107,7 @@ def build_summary(
         "benchmarks": {
             name: {
                 "speedup": headline_speedup(payload),
+                "peak_mb": headline_memory(payload),
                 "artifact": payload,
             }
             for name, payload in artifacts.items()
@@ -133,6 +148,25 @@ def check_regressions(
                 f"{name}: speedup {speedup:.1f}x regressed more than "
                 f"{max_regression_factor:.0f}x below the baseline "
                 f"{expected['speedup']:.1f}x (floor {floor:.1f}x)"
+            )
+        # Memory gauges gate in the opposite direction: growth is the
+        # regression.  Only benchmarks whose baseline records a gauge are
+        # gated, so timing-only harnesses stay unaffected.
+        expected_peak = expected.get("peak_mb")
+        if expected_peak is None:
+            continue
+        peak = entry.get("peak_mb")
+        ceiling = expected_peak * max_regression_factor
+        if peak is None:
+            failures.append(
+                f"{name}: baseline records a peak_mb memory gauge but the "
+                f"artifact carries none (did the memory harness run?)"
+            )
+        elif peak > ceiling:
+            failures.append(
+                f"{name}: peak memory {peak:.1f} MB grew more than "
+                f"{max_regression_factor:.0f}x above the baseline "
+                f"{expected_peak:.1f} MB (ceiling {ceiling:.1f} MB)"
             )
     return failures
 
@@ -178,15 +212,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name, entry in sorted(summary["benchmarks"].items()):
         speedup = entry["speedup"]
         rendered = f"{speedup:.1f}x" if speedup is not None else "-"
+        peak = entry.get("peak_mb")
+        if peak is not None:
+            rendered += f"  peak {peak:.1f} MB"
         print(f"{name:>12}: {rendered}")
     print(f"summary: {args.output}")
 
     if args.update_baseline:
-        baseline = {
-            name: {"speedup": entry["speedup"]}
-            for name, entry in sorted(summary["benchmarks"].items())
-            if entry["speedup"] is not None
-        }
+        baseline = {}
+        for name, entry in sorted(summary["benchmarks"].items()):
+            if entry["speedup"] is None:
+                continue
+            record = {"speedup": entry["speedup"]}
+            if entry.get("peak_mb") is not None:
+                record["peak_mb"] = entry["peak_mb"]
+            baseline[name] = record
         args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
         print(f"baseline updated: {args.baseline}")
         return 0

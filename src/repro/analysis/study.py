@@ -719,8 +719,16 @@ class Study:
         pin the draw; it is recorded in the result) and steps every die
         through every (spec variant, scenario) cell.  By default each cell
         runs the whole population in lockstep on the batched fast path;
-        ``method="reference"`` expands to one engine task per die instead.
-        Returns a :class:`~repro.variation.population.PopulationStudy`
+        ``method="reference"`` expands to one engine task per die instead,
+        and ``method="streaming"`` (with ``shard_size=N``) expands to one
+        bounded-memory task per fixed-size die shard — shards sample their
+        die ranges deterministically, dispatch through this module's
+        executors (serial or process-pool), and merge associatively, so
+        million-die populations run in O(shard) memory (see
+        :mod:`repro.variation.streaming`).  Pass ``cache=StoreCache(...)``
+        to land every cell/shard in the persistent run store; warm re-runs
+        then execute zero tasks.  Returns a
+        :class:`~repro.variation.population.PopulationStudy`
         whose :meth:`~repro.variation.population.PopulationStudy.run`
         yields a JSON-round-tripping
         :class:`~repro.variation.population.PopulationResult` (percentile

@@ -59,6 +59,7 @@ from repro.workloads.dynamics import AUTO_CSTATE, DynamicPhase, DynamicScenario
 
 if TYPE_CHECKING:
     from repro.variation.sampler import DiePopulation
+    from repro.variation.streaming import StreamingCellShard
 
 
 @dataclass(frozen=True)
@@ -778,8 +779,12 @@ class BatchedDynamicsSimulator:
     # -- the population (die-variation) fast path --------------------------------------
 
     def run_population(
-        self, pcode: Pcode, scenario: DynamicScenario, population: "DiePopulation"
-    ) -> "PopulationRunTraces":
+        self,
+        pcode: Pcode,
+        scenario: DynamicScenario,
+        population: "DiePopulation",
+        shard_size: Optional[int] = None,
+    ) -> "PopulationRunTraces | StreamingCellShard":
         """Step one scenario across an entire die population in lockstep.
 
         *pcode* is the **nominal** system; the population's per-die silicon
@@ -791,11 +796,28 @@ class BatchedDynamicsSimulator:
         per-die Python objects.  Every expression matches what one die's
         ``SystemSpec.variant(die_variation=...)`` build computes, so the
         fast path reproduces the per-die reference path bit for bit.
+
+        With *shard_size* unset (the default), the whole population steps
+        at once and the full ``(steps, dice)``
+        :class:`PopulationRunTraces` matrices come back.  With
+        *shard_size* set, the population streams through fixed-size die
+        shards instead: each shard's matrices are condensed into the
+        bounded accumulators of :mod:`repro.variation.streaming` and
+        dropped before the next shard runs, so peak memory is O(shard) —
+        the return value is the merged
+        :class:`~repro.variation.streaming.StreamingCellShard`.
+        Shard-infeasible configurations (``shard_size < 1``,
+        ``shard_size > count``) raise :class:`ConfigurationError` with
+        actionable messages.
         """
         if pcode.die_variation is not None:
             raise ConfigurationError(
                 "run_population needs the nominal system; per-die variation "
                 "comes from the population"
+            )
+        if shard_size is not None:
+            return self._run_population_streaming(
+                pcode, scenario, population, int(shard_size)
             )
         count = population.count
         processor = pcode.processor
@@ -955,6 +977,43 @@ class BatchedDynamicsSimulator:
             cstate_codes=cstate_trace,
             cstate_names=tuple(cstate_codes),
         )
+
+    def _run_population_streaming(
+        self,
+        pcode: Pcode,
+        scenario: DynamicScenario,
+        population: "DiePopulation",
+        shard_size: int,
+    ) -> "StreamingCellShard":
+        """Stream the population through fixed-size shards, O(shard) memory.
+
+        Each shard's full trace matrices exist only long enough to condense
+        into the mergeable accumulators of
+        :mod:`repro.variation.streaming`; the merged accumulator is
+        returned.  The per-shard dynamics are the ordinary lockstep fast
+        path, so every shard's numbers are bit-identical to the
+        monolithic run's corresponding die columns.
+        """
+        # Deferred import: sim must not depend on variation at module
+        # level (layering contract); the streaming accumulators live in
+        # the variation layer because they understand populations.
+        from repro.variation.streaming import (
+            ShardPlan,
+            condense_population_traces,
+            merge_cell_shards,
+        )
+
+        plan = ShardPlan(count=population.count, shard_size=shard_size)
+        shards = []
+        for index in range(plan.n_shards):
+            start, stop = plan.shard_bounds(index)
+            traces = self.run_population(
+                pcode, scenario, population.slice(start, stop)
+            )
+            shards.append(
+                condense_population_traces(pcode, scenario, traces, index)
+            )
+        return merge_cell_shards(shards)
 
     # -- result materialisation --------------------------------------------------------
 

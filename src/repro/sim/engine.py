@@ -203,19 +203,24 @@ class SimulationEngine:
             f"unknown dynamics method {method!r}; expected 'batched' or 'reference'"
         )
 
-    def run_population(self, scenario: DynamicScenario, population) -> object:
+    def run_population(
+        self, scenario: DynamicScenario, population, shard_size=None
+    ) -> object:
         """Step a dynamic scenario across a whole die population in lockstep.
 
         *population* is a :class:`~repro.variation.sampler.DiePopulation`;
         the engine must be built from the nominal spec (per-die silicon
         knobs are injected as stacked arrays — see
         :meth:`~repro.sim.dynamics.BatchedDynamicsSimulator.run_population`).
-        Returns :class:`~repro.sim.dynamics.PopulationRunTraces`.
+        Returns :class:`~repro.sim.dynamics.PopulationRunTraces`, or — when
+        *shard_size* streams the run through fixed-size die shards — the
+        merged bounded-memory
+        :class:`~repro.variation.streaming.StreamingCellShard`.
         """
         if self._batched_dynamics is None:
             self._batched_dynamics = BatchedDynamicsSimulator()
         return self._batched_dynamics.run_population(
-            self._pcode, scenario, population
+            self._pcode, scenario, population, shard_size=shard_size
         )
 
     # -- energy scenarios ------------------------------------------------------------------

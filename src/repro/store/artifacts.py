@@ -71,6 +71,11 @@ def encode_value(value: Any) -> Dict[str, Any]:
         PopulationResult,
         SpecBinningResult,
     )
+    from repro.variation.streaming import (
+        StreamingBinningResult,
+        StreamingCellResult,
+        StreamingCellShard,
+    )
 
     if isinstance(value, RunResult):
         payload: Dict[str, Any] = {"codec": "run_result", "value": value.to_dict()}
@@ -78,6 +83,12 @@ def encode_value(value: Any) -> Dict[str, Any]:
         payload = {"codec": "population_cell", "value": value.to_dict()}
     elif isinstance(value, SpecBinningResult):
         payload = {"codec": "spec_binning", "value": value.to_dict()}
+    elif isinstance(value, StreamingCellShard):
+        payload = {"codec": "streaming_shard", "value": value.to_dict()}
+    elif isinstance(value, StreamingCellResult):
+        payload = {"codec": "streaming_cell", "value": value.to_dict()}
+    elif isinstance(value, StreamingBinningResult):
+        payload = {"codec": "streaming_binning", "value": value.to_dict()}
     elif isinstance(value, PopulationResult):
         payload = {"codec": "population", "value": json.loads(value.to_json())}
     else:
@@ -105,6 +116,11 @@ def decode_value(payload: Dict[str, Any]) -> Any:
         PopulationResult,
         SpecBinningResult,
     )
+    from repro.variation.streaming import (
+        StreamingBinningResult,
+        StreamingCellResult,
+        StreamingCellShard,
+    )
 
     version = payload.get("schema_version", RESULT_SCHEMA_VERSION)
     if not isinstance(version, int) or version > RESULT_SCHEMA_VERSION:
@@ -120,6 +136,12 @@ def decode_value(payload: Dict[str, Any]) -> Any:
         return PopulationCellResult.from_dict(value)
     if codec == "spec_binning":
         return SpecBinningResult.from_dict(value)
+    if codec == "streaming_shard":
+        return StreamingCellShard.from_dict(value)
+    if codec == "streaming_cell":
+        return StreamingCellResult.from_dict(value)
+    if codec == "streaming_binning":
+        return StreamingBinningResult.from_dict(value)
     if codec == "population":
         return PopulationResult.from_json(
             json.dumps(value, sort_keys=True, allow_nan=False)

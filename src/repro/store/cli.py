@@ -15,6 +15,8 @@ Examples::
 
     python -m repro run --spec darkgates --spec baseline \\
         --scenario burst --tdp 35 --tdp 91
+    python -m repro run --spec darkgates --scenario sustained --tdp 65 \\
+        --population 10000 --shard-size 2048 --seed 7
     python -m repro index
     python -m repro summarize --spec darkgates --kind dynamic --tdp 35
     python -m repro compare --spec darkgates --spec baseline --tdp 35
@@ -85,6 +87,13 @@ def _format_metric(value: Optional[float]) -> str:
 def _cmd_run(args: argparse.Namespace) -> int:
     store = RunStore(args.store)
     cache = StoreCache(store=store, seed=args.seed)
+    if args.population is not None:
+        return _cmd_run_population(args, store, cache)
+    if args.shard_size is not None:
+        raise ConfigurationError(
+            "--shard-size streams a die population; pass --population N "
+            "to pick the population size"
+        )
     if bool(args.scenario) == bool(args.suite):
         raise ConfigurationError(
             "pick exactly one of --scenario (dynamic timeline) or --suite "
@@ -120,6 +129,92 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = study.run()
     print(result.as_table())
     served = len(study) - study.tasks_executed
+    print(
+        f"{study.tasks_executed} task(s) executed, "
+        f"{served} served from the store ({store.root})"
+    )
+    indexed = RunIndex(store).rebuild()
+    print(f"index: {indexed} run(s)")
+    return 0
+
+
+def _cmd_run_population(
+    args: argparse.Namespace, store: RunStore, cache: StoreCache
+) -> int:
+    """``run --population N [--shard-size M]``: a die-population sweep.
+
+    With ``--shard-size`` the streaming engine runs (one bounded-memory
+    task per die shard); without it the in-memory fast path runs.  Either
+    way every task lands in the store, so a warm re-run executes zero
+    tasks.
+    """
+    from repro.variation.distributions import skylake_process_variation
+
+    if args.suite:
+        raise ConfigurationError(
+            "--population sweeps dynamic scenarios; drop --suite and pass "
+            "--scenario instead"
+        )
+    if not args.scenario:
+        raise ConfigurationError(
+            "--population needs at least one --scenario; known: "
+            f"{sorted(scenario_names())}"
+        )
+    options = _scenario_options(args.opt)
+    scenarios = [build_scenario(name, **options) for name in args.scenario]
+    kwargs: Dict[str, Any] = {
+        "tdp_levels_w": args.tdp or None,
+        "cache": cache,
+        "seed": args.seed,
+        "name": args.name,
+    }
+    if args.shard_size is not None:
+        kwargs["method"] = "streaming"
+        kwargs["shard_size"] = args.shard_size
+    if args.executor is not None:
+        kwargs["executor"] = args.executor
+    if args.max_workers is not None:
+        kwargs["max_workers"] = args.max_workers
+    study = Study.over_population(
+        args.spec, scenarios, skylake_process_variation(), args.population,
+        **kwargs,
+    )
+    result = study.run()
+    rows = []
+    for cell in result.cells:
+        p5, p50, p95 = cell.sustained_quantiles_ghz((5.0, 50.0, 95.0))
+        rows.append(
+            [
+                cell.spec.label if cell.spec is not None else "-",
+                cell.scenario_name,
+                f"{p5:.3f}",
+                f"{p50:.3f}",
+                f"{p95:.3f}",
+            ]
+        )
+    title = (
+        f"{result.name}: {result.count} dice, method={result.method}"
+        + (
+            f", shard_size={result.shard_size}"
+            if result.shard_size is not None
+            else ""
+        )
+        + f", seed={result.seed}"
+    )
+    print(
+        format_table(
+            ["system", "scenario", "sustained_p5", "p50", "p95"],
+            rows,
+            title=title,
+        )
+    )
+    for binning in result.binning:
+        yields = ", ".join(
+            f"{name}={fraction:.4f}"
+            for name, fraction in sorted(binning.yield_fractions.items())
+        )
+        print(f"yields[{binning.spec_name}]: {yields}")
+    served = study.tasks_total - study.tasks_executed
     print(
         f"{study.tasks_executed} task(s) executed, "
         f"{served} served from the store ({store.root})"
@@ -278,6 +373,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="scenario builder override, e.g. duration_s=6 or time_step_s=0.5",
+    )
+    run.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep a seeded N-die population instead of single runs",
+    )
+    run.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="M",
+        help=(
+            "stream the population through M-die shards (bounded memory); "
+            "requires --population"
+        ),
     )
     run.add_argument("--executor", default=None, help="serial | batched | process")
     run.add_argument("--max-workers", type=int, default=None)

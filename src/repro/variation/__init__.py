@@ -22,10 +22,17 @@ turns the repo's single-die models into population-scale studies:
   ``Study.over_population``: population x scenario x TDP sweeps through the
   study executor machinery, summarised as a JSON-round-tripping
   :class:`PopulationResult`.
+* :mod:`repro.variation.streaming` — the sharded million-die engine:
+  deterministic fixed-size die shards (bit-identical alone or inside the
+  full population) condensed into mergeable online accumulators — exact
+  frequency/limiting/yield statistics, one-histogram-bin-bounded continuous
+  quantiles — so population studies run in O(shard), not O(population),
+  memory.
 
-``population`` is imported lazily (module ``__getattr__``) because it sits
-above :mod:`repro.analysis.study` in the import graph, which itself imports
-this package's sampler.
+``population`` and ``streaming`` are imported lazily (module
+``__getattr__``) because they sit above :mod:`repro.analysis.study` /
+:mod:`repro.sim` in the import graph, which themselves import this
+package's sampler.
 """
 
 from typing import Tuple
@@ -59,12 +66,30 @@ _POPULATION_EXPORTS: Tuple[str, ...] = (
     "SpecBinningResult",
 )
 
+#: Names resolved lazily from :mod:`repro.variation.streaming`.
+_STREAMING_EXPORTS: Tuple[str, ...] = (
+    "ShardPlan",
+    "HistogramSpec",
+    "ScalarAccumulator",
+    "ScalarSummary",
+    "StreamingCellShard",
+    "StreamingCellResult",
+    "StreamingBinningResult",
+    "condense_population_traces",
+    "merge_cell_shards",
+    "weighted_percentile",
+)
+
 
 def __getattr__(name: str):
     if name in _POPULATION_EXPORTS:
         from repro.variation import population
 
         return getattr(population, name)
+    if name in _STREAMING_EXPORTS:
+        from repro.variation import streaming
+
+        return getattr(streaming, name)
     raise AttributeError(  # repro-lint: disable=RPR005 -- PEP 562 module __getattr__ protocol requires AttributeError
         f"module {__name__!r} has no attribute {name!r}"
     )
@@ -89,4 +114,14 @@ __all__ = [
     "PopulationResult",
     "PopulationCellResult",
     "SpecBinningResult",
+    "ShardPlan",
+    "HistogramSpec",
+    "ScalarAccumulator",
+    "ScalarSummary",
+    "StreamingCellShard",
+    "StreamingCellResult",
+    "StreamingBinningResult",
+    "condense_population_traces",
+    "merge_cell_shards",
+    "weighted_percentile",
 ]

@@ -11,25 +11,42 @@ scenarios with a seeded die population and executes the grid through the
 * ``method="reference"`` — each grid cell expands to one task **per die**,
   every die a full ``SystemSpec.variant(die_variation=...)`` build stepped
   through the ordinary engine.
+* ``method="streaming"`` — each grid cell expands to one task per
+  fixed-size **die shard** (``shard_size`` dice each); shards sample their
+  own die range deterministically, condense into the bounded accumulators
+  of :mod:`repro.variation.streaming`, and merge associatively — peak
+  memory is O(shard), never O(population), so million-die studies fit.
 
-Both methods produce identical numbers (the fast path is bit-compatible
-with per-die stepping), which the population benchmark and the equivalence
-tests assert; the fast path is simply one to two orders of magnitude
-faster.  Results condense into a :class:`PopulationResult`: percentile
-traces, per-die summary metrics, limiting-factor histograms, SKU-bin yields
-— all JSON-round-tripping, with the seed recorded so any run can be
-replayed exactly.
+Fast and reference produce identical numbers (the fast path is
+bit-compatible with per-die stepping); streaming matches them exactly on
+every discrete statistic (frequency percentile traces, limiting factors,
+bin yields) and within a documented one-histogram-bin bound on continuous
+ones.  The population benchmark and the equivalence tests assert all of
+this.  Results condense into a :class:`PopulationResult`: percentile
+traces, summary metrics, limiting-factor histograms, SKU-bin yields — all
+JSON-round-tripping, with the seed recorded so any run can be replayed
+exactly.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.analysis.study import CallableTask, Executor, Study
+from repro.analysis.study import CallableTask, Executor, Study, StudyTask
 from repro.common.errors import ConfigurationError
 from repro.core.spec import SystemSpec, build_engine, resolve_spec
 from repro.pmu.dvfs import LimitingFactor
@@ -48,6 +65,15 @@ from repro.variation.binning import (
 )
 from repro.variation.distributions import VariationModel
 from repro.variation.sampler import DiePopulation, DiePopulationSampler
+from repro.variation.streaming import (
+    ShardPlan,
+    StreamingBinningResult,
+    StreamingCellResult,
+    merge_binning_shards,
+    merge_cell_shards,
+    run_binning_shard,
+    run_cell_shard,
+)
 from repro.workloads.dynamics import DynamicScenario
 
 #: Seed pinned when a :class:`PopulationStudy` is built with ``seed=None``.
@@ -308,6 +334,11 @@ class SpecBinningResult:
     assignments: Tuple[int, ...]
     report: BinReport
 
+    @property
+    def yield_fractions(self) -> Dict[str, float]:
+        """Yield fraction per bin — the interface shared with streaming."""
+        return dict(self.report.yield_fractions)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe payload describing this binning."""
         return {
@@ -333,10 +364,13 @@ class PopulationResult:
     """The completed grid of a population study.
 
     Everything needed to replay the run rides along: the variation model,
-    the seed, the die count and the method.  Cells are addressable by
-    (spec variant, scenario name); binning is per *base* spec (the design
-    the dice were measured on), with per-die bin assignments so dynamics
-    metrics join against bins.
+    the seed, the die count, the method and (for streaming runs) the shard
+    size.  Cells are addressable by (spec variant, scenario name); binning
+    is per *base* spec (the design the dice were measured on).  In-memory
+    runs carry :class:`PopulationCellResult` / :class:`SpecBinningResult`
+    entries with per-die tuples; streaming runs carry the bounded
+    :class:`~repro.variation.streaming.StreamingCellResult` /
+    :class:`~repro.variation.streaming.StreamingBinningResult` shapes.
     """
 
     name: str
@@ -345,14 +379,15 @@ class PopulationResult:
     method: str
     variations: VariationModel
     binning_policy: BinningPolicy
-    cells: Tuple[PopulationCellResult, ...]
-    binning: Tuple[SpecBinningResult, ...]
+    cells: Tuple[Union[PopulationCellResult, StreamingCellResult], ...]
+    binning: Tuple[Union[SpecBinningResult, StreamingBinningResult], ...]
+    shard_size: Optional[int] = None
 
     # -- lookup ------------------------------------------------------------------------
 
     def cell(
         self, spec: Union[SystemSpec, str], scenario: Union[DynamicScenario, str]
-    ) -> PopulationCellResult:
+    ) -> Union[PopulationCellResult, StreamingCellResult]:
         """The cell of one (spec variant, scenario) pair.
 
         *spec* may be the expanded variant, its label (``"name@45W"``), or
@@ -372,7 +407,9 @@ class PopulationResult:
             f"({spec!r}, {scenario_name!r})"
         )
 
-    def spec_binning(self, spec_name: str) -> SpecBinningResult:
+    def spec_binning(
+        self, spec_name: str
+    ) -> Union[SpecBinningResult, StreamingBinningResult]:
         """Binning of the population measured on one base spec."""
         for candidate in self.binning:
             if candidate.spec_name == spec_name:
@@ -384,20 +421,29 @@ class PopulationResult:
 
     def bin_yields(self, spec_name: str) -> Dict[str, float]:
         """Yield fraction per bin (including scrap) on one base spec."""
-        return dict(self.spec_binning(spec_name).report.yield_fractions)
+        return dict(self.spec_binning(spec_name).yield_fractions)
 
     def sustained_by_bin(
         self,
-        cell: PopulationCellResult,
+        cell: Union[PopulationCellResult, StreamingCellResult],
         spec_name: str,
         quantiles: Sequence[float] = (5.0, 95.0),
     ) -> Dict[str, Tuple[float, ...]]:
         """Per-bin quantiles of sustained frequency (GHz) for one cell.
 
-        Joins the cell's per-die sustained frequencies against the bin
-        assignments of *spec_name*'s binning; empty bins are omitted.
+        In-memory cells join their per-die sustained frequencies against
+        the bin assignments of *spec_name*'s binning; streaming cells carry
+        per-bin accumulators built from the same (TDP-invariant) bin
+        assignments at condense time.  Empty bins are omitted either way.
         """
+        if isinstance(cell, StreamingCellResult):
+            return cell.sustained_by_bin_ghz(quantiles)
         binning = self.spec_binning(spec_name)
+        if not isinstance(binning, SpecBinningResult):
+            raise ConfigurationError(
+                "in-memory cells need per-die bin assignments, but "
+                f"{spec_name!r} carries a streaming binning result"
+            )
         assignments = np.array(binning.assignments)
         sustained = np.array(cell.sustained_frequency_hz)
         names = (*binning.report.bin_names, SCRAP_BIN)
@@ -420,6 +466,7 @@ class PopulationResult:
             "seed": self.seed,
             "count": self.count,
             "method": self.method,
+            "shard_size": self.shard_size,
             "variations": self.variations.to_dict(),
             "binning_policy": self.binning_policy.to_dict(),
             "cells": [cell.to_dict() for cell in self.cells],
@@ -434,6 +481,22 @@ class PopulationResult:
         """Rebuild a population result from :meth:`to_json` output."""
         payload = json.loads(text)
         check_payload_schema(payload, "population result")
+
+        def load_cell(
+            entry: Mapping[str, Any]
+        ) -> Union[PopulationCellResult, StreamingCellResult]:
+            if entry.get("kind") == "streaming_cell":
+                return StreamingCellResult.from_dict(entry)
+            return PopulationCellResult.from_dict(entry)
+
+        def load_binning(
+            entry: Mapping[str, Any]
+        ) -> Union[SpecBinningResult, StreamingBinningResult]:
+            if entry.get("kind") == "streaming_binning":
+                return StreamingBinningResult.from_dict(entry)
+            return SpecBinningResult.from_dict(entry)
+
+        shard_size = payload.get("shard_size")
         return cls(
             name=payload["name"],
             seed=payload["seed"],
@@ -441,12 +504,9 @@ class PopulationResult:
             method=payload["method"],
             variations=VariationModel.from_dict(payload["variations"]),
             binning_policy=BinningPolicy.from_dict(payload["binning_policy"]),
-            cells=tuple(
-                PopulationCellResult.from_dict(cell) for cell in payload["cells"]
-            ),
-            binning=tuple(
-                SpecBinningResult.from_dict(entry) for entry in payload["binning"]
-            ),
+            cells=tuple(load_cell(cell) for cell in payload["cells"]),
+            binning=tuple(load_binning(entry) for entry in payload["binning"]),
+            shard_size=None if shard_size is None else int(shard_size),
         )
 
 
@@ -479,18 +539,30 @@ class PopulationStudy:
         SKU binning policy; defaults to
         :func:`~repro.variation.binning.skylake_binning_policy`.
     method:
-        ``"fast"`` (lockstep population per cell, default) or
-        ``"reference"`` (one engine task per die).
+        ``"fast"`` (lockstep population per cell, default),
+        ``"reference"`` (one engine task per die), or ``"streaming"``
+        (one bounded-memory task per die shard; needs *shard_size*).
+    shard_size:
+        Dice per shard for ``method="streaming"``.  Validated up front:
+        shard-infeasible configurations (``shard_size < 1``,
+        ``shard_size > count``, empty populations) raise
+        :class:`~repro.common.errors.ConfigurationError` with actionable
+        messages.  Forbidden for the in-memory methods.
     executor:
         Study executor the tasks run through (``"serial"``, ``"process"``,
         or an executor object).
     max_workers:
         Pool size when *executor* is ``"process"``.
+    cache:
+        Optional task-result cache (typically a
+        :class:`~repro.store.cache.StoreCache`) shared with the inner grid
+        study, so population runs land in the persistent store and warm
+        re-runs execute zero tasks.
     name:
         Study name used in reports.
     """
 
-    METHODS = ("fast", "reference")
+    METHODS = ("fast", "reference", "streaming")
 
     def __init__(
         self,
@@ -503,8 +575,10 @@ class PopulationStudy:
         seed: Optional[int] = 0,
         binning: Optional[BinningPolicy] = None,
         method: str = "fast",
+        shard_size: Optional[int] = None,
         executor: Union[str, Executor] = "serial",
         max_workers: Optional[int] = None,
+        cache: Optional[MutableMapping[StudyTask, Any]] = None,
         name: str = "population-study",
     ) -> None:
         if count < 1:
@@ -512,6 +586,21 @@ class PopulationStudy:
         if method not in self.METHODS:
             raise ConfigurationError(
                 f"unknown population method {method!r}; known: {list(self.METHODS)}"
+            )
+        if method == "streaming":
+            if shard_size is None:
+                raise ConfigurationError(
+                    "method='streaming' needs a shard_size (dice per shard; "
+                    "4096 is a good default)"
+                )
+            # ShardPlan owns the actionable shard-feasibility errors.
+            ShardPlan(count=count, shard_size=int(shard_size))
+            shard_size = int(shard_size)
+        elif shard_size is not None:
+            raise ConfigurationError(
+                f"shard_size only applies to method='streaming' "
+                f"(got shard_size={shard_size} with method={method!r}); "
+                "drop it or switch methods"
             )
         self._base_specs = tuple(resolve_spec(spec) for spec in specs)
         if not self._base_specs:
@@ -541,17 +630,24 @@ class PopulationStudy:
         self._seed = int(seed)
         self._binning = binning if binning is not None else skylake_binning_policy()
         self._method = method
+        self._shard_size = shard_size
         self._executor = executor
         self._max_workers = max_workers
+        self._cache = cache
         self._name = name
+        self._tasks_total = 0
+        self._tasks_executed = 0
         if tdp_levels_w is None:
             self._cell_specs = self._base_specs
+            self._cell_base_specs = self._base_specs
         else:
-            self._cell_specs = tuple(
-                spec.variant(tdp_w=tdp)
+            expanded = [
+                (spec.variant(tdp_w=tdp), spec)
                 for tdp in tdp_levels_w
                 for spec in self._base_specs
-            )
+            ]
+            self._cell_specs = tuple(cell for cell, _ in expanded)
+            self._cell_base_specs = tuple(base for _, base in expanded)
 
     # -- introspection -----------------------------------------------------------------
 
@@ -572,8 +668,23 @@ class PopulationStudy:
 
     @property
     def method(self) -> str:
-        """Execution method (``"fast"`` or ``"reference"``)."""
+        """Execution method (``"fast"``, ``"reference"`` or ``"streaming"``)."""
         return self._method
+
+    @property
+    def shard_size(self) -> Optional[int]:
+        """Dice per shard (``None`` for the in-memory methods)."""
+        return self._shard_size
+
+    @property
+    def tasks_total(self) -> int:
+        """Grid tasks of the last :meth:`run` (0 before any run)."""
+        return self._tasks_total
+
+    @property
+    def tasks_executed(self) -> int:
+        """Cache-miss tasks of the last :meth:`run` (0 before any run)."""
+        return self._tasks_executed
 
     @property
     def cell_specs(self) -> Tuple[SystemSpec, ...]:
@@ -590,6 +701,8 @@ class PopulationStudy:
 
     def run(self) -> PopulationResult:
         """Execute the grid and return the condensed population result."""
+        if self._method == "streaming":
+            return self._run_streaming()
         population = self.sample()
         tasks: List[CallableTask] = []
         if self._method == "fast":
@@ -619,15 +732,8 @@ class PopulationStudy:
                                 args=(die_spec, scenario),
                             )
                         )
-        study = Study(
-            tasks=tasks,
-            executor=self._executor,
-            max_workers=self._max_workers,
-            seed=self._seed,
-            name=f"{self._name}-grid",
-        )
-        grid = study.run()
-        cells: List[PopulationCellResult] = []
+        grid = self._run_grid(tasks)
+        cells: List[Union[PopulationCellResult, StreamingCellResult]] = []
         for spec in self._cell_specs:
             for scenario in self._scenarios:
                 if self._method == "fast":
@@ -652,6 +758,92 @@ class PopulationStudy:
             binning_policy=self._binning,
             cells=tuple(cells),
             binning=binning,
+        )
+
+    def _run_grid(self, tasks: Sequence[CallableTask]) -> Any:
+        """Run the grid tasks through the executor (store-cached if given)."""
+        study = Study(
+            tasks=list(tasks),
+            executor=self._executor,
+            max_workers=self._max_workers,
+            cache=self._cache,
+            seed=self._seed,
+            name=f"{self._name}-grid",
+        )
+        grid = study.run()
+        self._tasks_total = len(study)
+        self._tasks_executed = study.tasks_executed
+        return grid
+
+    def _run_streaming(self) -> PopulationResult:
+        """The streaming path: one bounded task per (cell, shard).
+
+        Never materialises the full population — each shard task samples
+        only its own die range, and the merged accumulators stay O(shard
+        x trace length), so the peak footprint is independent of
+        ``count``.
+        """
+        assert self._shard_size is not None  # validated in __init__
+        plan = ShardPlan(count=self._count, shard_size=self._shard_size)
+        tasks: List[CallableTask] = []
+        for spec, base_spec in zip(self._cell_specs, self._cell_base_specs):
+            for scenario in self._scenarios:
+                for shard in range(plan.n_shards):
+                    tasks.append(
+                        CallableTask(
+                            key=f"{spec.label}/{scenario.name}/shard{shard}",
+                            fn=run_cell_shard,
+                            args=(
+                                spec, scenario, self._variations, self._count,
+                                self._seed, shard, self._shard_size,
+                                self._binning, base_spec,
+                            ),
+                        )
+                    )
+        for spec in self._base_specs:
+            for shard in range(plan.n_shards):
+                tasks.append(
+                    CallableTask(
+                        key=f"binning/{spec.name}/shard{shard}",
+                        fn=run_binning_shard,
+                        args=(
+                            spec, self._variations, self._count, self._seed,
+                            shard, self._shard_size, self._binning,
+                        ),
+                    )
+                )
+        grid = self._run_grid(tasks)
+        cells: List[Union[PopulationCellResult, StreamingCellResult]] = []
+        for spec in self._cell_specs:
+            for scenario in self._scenarios:
+                shards = [
+                    grid.task(f"{spec.label}/{scenario.name}/shard{shard}")
+                    for shard in range(plan.n_shards)
+                ]
+                cells.append(
+                    merge_cell_shards(shards).finalize(self._shard_size)
+                )
+        binning = tuple(
+            merge_binning_shards(
+                spec.name,
+                [
+                    grid.task(f"binning/{spec.name}/shard{shard}")
+                    for shard in range(plan.n_shards)
+                ],
+                self._count,
+            )
+            for spec in self._base_specs
+        )
+        return PopulationResult(
+            name=self._name,
+            seed=self._seed,
+            count=self._count,
+            method=self._method,
+            variations=self._variations,
+            binning_policy=self._binning,
+            cells=tuple(cells),
+            binning=binning,
+            shard_size=self._shard_size,
         )
 
     def _bin_population(

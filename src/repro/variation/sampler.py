@@ -16,6 +16,16 @@ The population materialises in two interchangeable ways:
 
 Both paths funnel every knob through the same element-wise transforms, so a
 given seed produces bit-identical trajectories either way.
+
+Seeded draws are **block-based** for shard determinism: die *i* of a
+seed-``s`` population is always drawn from the fixed-size sampling block
+``i // SAMPLE_BLOCK_DICE``, whose generator derives from
+``np.random.SeedSequence(entropy=s, spawn_key=(block,))``.  A die's knobs
+therefore depend only on ``(seed, die index)`` — :meth:`sample_range` yields
+bit-identical dice whether a shard is drawn alone or as part of the full
+population, and a seed-``s`` population is a prefix of any larger seed-``s``
+population.  This is the foundation of the streaming population engine
+(:mod:`repro.variation.streaming`).
 """
 
 from __future__ import annotations
@@ -32,6 +42,11 @@ from repro.variation.distributions import (
     POSITIVE_PARAMETERS,
     VariationModel,
 )
+
+#: Dice per deterministic sampling block.  Seeded draws always generate
+#: whole blocks (then slice), so the value is part of the sampling contract:
+#: changing it changes which dice a seed yields.
+SAMPLE_BLOCK_DICE = 1024
 
 
 @dataclass(frozen=True)
@@ -201,6 +216,25 @@ class DiePopulation:
         """Iterate the population die by die."""
         return (self.die(index) for index in range(self._count))
 
+    def slice(self, start: int, stop: int) -> "DiePopulation":
+        """Dice ``[start, stop)`` as a new population (seed not carried).
+
+        The slice's seed is unset on purpose: a sub-range is replayable via
+        ``(parent seed, start, stop)`` — recording the parent seed alone
+        would claim the slice equals a fresh ``sample(stop - start, seed)``.
+        """
+        if not 0 <= start < stop <= self._count:
+            raise ConfigurationError(
+                f"bad population slice [{start}, {stop}): indices must "
+                f"satisfy 0 <= start < stop <= count ({self._count})"
+            )
+        return DiePopulation(
+            {
+                name: getattr(self, name)[start:stop]
+                for name in NOMINAL_PARAMETERS
+            }
+        )
+
     def specs(self, base_spec: "Any") -> List["Any"]:
         """The reference-path materialisation: one spec variant per die.
 
@@ -242,11 +276,59 @@ class DiePopulationSampler:
         """Draw *count* dice.
 
         Passing *seed* (the normal path) records it on the population so
-        the draw can be replayed; passing an explicit *rng* instead leaves
-        the population's seed unset.
+        the draw can be replayed, and draws block-wise so the population is
+        shard-stable: ``sample(count, seed)`` equals the concatenation of
+        ``sample_range`` over any partition of ``[0, count)``.  Passing an
+        explicit *rng* instead draws a single legacy stream and leaves the
+        population's seed unset — that path is **not** shard-stable.
         """
         if rng is not None and seed is not None:
             raise ConfigurationError("pass either seed or rng, not both")
         if rng is None:
-            rng = np.random.default_rng(seed)
-        return DiePopulation(self._model.draw(count, rng), seed=seed)
+            if count < 1:
+                raise ConfigurationError("count must be >= 1")
+            return self.sample_range(0, count, seed=seed)
+        return DiePopulation(self._model.draw(count, rng), seed=None)
+
+    def sample_range(
+        self, start: int, stop: int, seed: Optional[int]
+    ) -> DiePopulation:
+        """Draw dice ``[start, stop)`` of the seed-*seed* population.
+
+        Bit-identical to slicing ``sample(n, seed)`` for any ``n >= stop``:
+        each fixed-size block of :data:`SAMPLE_BLOCK_DICE` dice is drawn
+        whole from its own spawned generator
+        (``SeedSequence(entropy=seed, spawn_key=(block,))``) and sliced, so
+        a die's knobs depend only on ``(seed, die index)``.  This is what
+        lets streaming shards run anywhere — any process, any shard size —
+        and still see exactly the dice of the monolithic draw.
+        """
+        if seed is None:
+            # An unseeded population still pins a deterministic stream:
+            # entropy draws would make shards of "the same" population
+            # disagree across processes.
+            seed = 0
+        if start < 0 or stop <= start:
+            raise ConfigurationError(
+                f"bad die range [{start}, {stop}): need 0 <= start < stop"
+            )
+        first_block = start // SAMPLE_BLOCK_DICE
+        last_block = (stop - 1) // SAMPLE_BLOCK_DICE
+        blocks = [
+            self._draw_block(int(seed), block)
+            for block in range(first_block, last_block + 1)
+        ]
+        offset = first_block * SAMPLE_BLOCK_DICE
+        values = {
+            name: np.concatenate([block[name] for block in blocks])[
+                start - offset : stop - offset
+            ]
+            for name in blocks[0]
+        }
+        return DiePopulation(values, seed=seed)
+
+    def _draw_block(self, seed: int, block: int) -> Dict[str, np.ndarray]:
+        """One whole sampling block (the unit of seeded determinism)."""
+        sequence = np.random.SeedSequence(entropy=seed, spawn_key=(block,))
+        rng = np.random.default_rng(sequence)
+        return self._model.draw(SAMPLE_BLOCK_DICE, rng)

@@ -89,6 +89,75 @@ def test_check_regressions_ungated_artifact_fails():
     assert "no baseline entry" in failures[0]
 
 
+def test_headline_memory_picks_peak_mb_key():
+    assert perf_track.headline_memory({"peak_mb": 26.5, "speedup": 3.0}) == 26.5
+    # The monolithic reference gauge must not win the scan.
+    assert (
+        perf_track.headline_memory({"monolithic_peak_mb": 420.0, "peak_mb": 26.5})
+        == 26.5
+    )
+    assert perf_track.headline_memory({"speedup": 3.0}) is None
+
+
+@pytest.mark.parametrize(
+    "current, baseline, n_failures",
+    [
+        (30.0, 26.0, 0),  # mild growth: fine
+        (50.0, 26.0, 0),  # just below the 2x ceiling (52.0): fine
+        (60.0, 26.0, 1),  # grew more than 2x: gate
+    ],
+)
+def test_check_regressions_memory_ceiling(current, baseline, n_failures):
+    summary = perf_track.build_summary(
+        {"population": {"speedup_streaming": 9.0, "peak_mb": current}},
+        commit="c",
+        generated_at="t",
+    )
+    failures = perf_track.check_regressions(
+        summary, {"population": {"speedup": 9.0, "peak_mb": baseline}}
+    )
+    assert len(failures) == n_failures
+    if n_failures:
+        assert "peak memory" in failures[0]
+
+
+def test_check_regressions_missing_memory_gauge_fails():
+    summary = perf_track.build_summary(
+        {"population": {"speedup_streaming": 9.0}}, commit="c", generated_at="t"
+    )
+    failures = perf_track.check_regressions(
+        summary, {"population": {"speedup": 9.0, "peak_mb": 26.0}}
+    )
+    assert len(failures) == 1
+    assert "peak_mb" in failures[0]
+
+
+def test_check_regressions_timing_only_benchmarks_not_memory_gated():
+    summary = perf_track.build_summary(
+        {"droop": {"speedup_scan_vs_reference": 40.0}}, commit="c", generated_at="t"
+    )
+    failures = perf_track.check_regressions(summary, {"droop": {"speedup": 40.0}})
+    assert failures == []
+
+
+def test_main_update_baseline_records_memory_gauge(tmp_path):
+    output_dir = tmp_path / "output"
+    output_dir.mkdir(parents=True)
+    (output_dir / "population_benchmark.json").write_text(
+        json.dumps({"speedup_fast_vs_reference": 60.0, "peak_mb": 26.5})
+    )
+    baseline = tmp_path / "baseline.json"
+    argv = [
+        "--output-dir", str(output_dir),
+        "--output", str(output_dir / "bench_summary.json"),
+        "--baseline", str(baseline),
+        "--update-baseline",
+    ]
+    assert perf_track.main(argv) == 0
+    written = json.loads(baseline.read_text())
+    assert written == {"population": {"speedup": 60.0, "peak_mb": 26.5}}
+
+
 def test_check_regressions_missing_metric_fails():
     summary = perf_track.build_summary(
         {"dynamics": {"runs": 3}}, commit="c", generated_at="t"

@@ -205,6 +205,74 @@ def test_population_study_validation():
         PopulationStudy((varied,), SCENARIOS, VARIATIONS, count=4)
 
 
+def test_population_study_streaming_validation():
+    with pytest.raises(ConfigurationError, match="needs a shard_size"):
+        PopulationStudy(
+            ("darkgates",), SCENARIOS, VARIATIONS, count=8, method="streaming"
+        )
+    with pytest.raises(ConfigurationError, match="only applies"):
+        PopulationStudy(
+            ("darkgates",), SCENARIOS, VARIATIONS, count=8, shard_size=4
+        )
+    with pytest.raises(ConfigurationError, match="already streams"):
+        PopulationStudy(
+            ("darkgates",),
+            SCENARIOS,
+            VARIATIONS,
+            count=8,
+            method="streaming",
+            shard_size=64,
+        )
+
+
+def test_streaming_study_counts_tasks_and_serves_warm_runs_from_cache():
+    cache: dict = {}
+    kwargs = dict(
+        count=8,
+        tdp_levels_w=(65.0,),
+        seed=42,
+        method="streaming",
+        shard_size=4,
+        cache=cache,
+    )
+    study = Study.over_population(
+        ("darkgates",), SCENARIOS[:1], VARIATIONS, **kwargs
+    )
+    cold = study.run()
+    # 2 cell shards + 2 binning shards, all executed on the cold pass.
+    assert study.tasks_total == 4 and study.tasks_executed == 4
+    assert cold.shard_size == 4 and cold.method == "streaming"
+
+    warm_study = Study.over_population(
+        ("darkgates",), SCENARIOS[:1], VARIATIONS, **kwargs
+    )
+    warm = warm_study.run()
+    assert warm_study.tasks_total == 4 and warm_study.tasks_executed == 0
+    assert warm == cold
+
+
+def test_streaming_result_json_kind_dispatch():
+    result = Study.over_population(
+        ("darkgates",),
+        SCENARIOS[:1],
+        VARIATIONS,
+        count=8,
+        tdp_levels_w=(65.0,),
+        seed=42,
+        method="streaming",
+        shard_size=4,
+    ).run()
+    payload = result.to_json()
+    rebuilt = PopulationResult.from_json(payload)
+    assert rebuilt == result
+    import json
+
+    raw = json.loads(payload)
+    assert raw["shard_size"] == 4
+    assert {cell["kind"] for cell in raw["cells"]} == {"streaming_cell"}
+    assert {b["kind"] for b in raw["binning"]} == {"streaming_binning"}
+
+
 # -- study seed plumbing ---------------------------------------------------------------
 
 

@@ -107,6 +107,61 @@ def test_compare(store_root, capsys):
     assert "no stored cells" in capsys.readouterr().err
 
 
+POPULATION_SWEEP = [
+    "run",
+    "--spec",
+    "darkgates",
+    "--scenario",
+    "sustained",
+    "--tdp",
+    "35",
+    "--population",
+    "256",
+    "--shard-size",
+    "128",
+    "--seed",
+    "7",
+    "--opt",
+    "duration_s=4",
+    "--opt",
+    "time_step_s=1",
+]
+
+
+def test_run_population_streaming_cold_then_warm(store_root, capsys):
+    assert main(POPULATION_SWEEP) == 0
+    cold = capsys.readouterr().out
+    # One cell split into 2 shards plus 2 binning shards, all executed.
+    assert "4 task(s) executed, 0 served from the store" in cold
+    assert "256 dice" in cold and "shard_size=128" in cold
+    assert "yields[darkgates]:" in cold
+
+    assert main(POPULATION_SWEEP) == 0
+    warm = capsys.readouterr().out
+    assert "0 task(s) executed, 4 served from the store" in warm
+    # The warm pass reads the same merged statistics back from the store.
+    assert warm.splitlines()[:3] == cold.splitlines()[:3]
+
+
+def test_run_population_without_shard_size_uses_fast_path(store_root, capsys):
+    argv = [arg for arg in POPULATION_SWEEP if arg not in ("--shard-size", "128")]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "method=fast" in out and "shard_size" not in out
+
+
+def test_run_shard_size_requires_population(store_root, capsys):
+    assert main(["run", "--spec", "darkgates", "--scenario", "sustained",
+                 "--shard-size", "128"]) == 2
+    assert "pass --population" in capsys.readouterr().err
+
+
+def test_run_population_rejects_suite(store_root, capsys):
+    assert main(["run", "--spec", "darkgates", "--suite", "spec2006",
+                 "--population", "64"]) == 2
+    assert "drop --suite" in capsys.readouterr().err
+
+
 def test_gc_dry_run_then_apply(store_root, capsys):
     main(TINY_SWEEP)
     store = RunStore(store_root)
