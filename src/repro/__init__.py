@@ -35,6 +35,23 @@ Quickstart — declare systems, run workloads, sweep grids::
     )
     print(grid.as_table())
 
+    # 4. Inverse queries invert the sweep: declare constraints and an
+    #    objective, and the solver bisects instead of scanning densely.
+    from repro import Constraint, Objective, OptimizationSpec
+    from repro.pmu.dvfs import CpuDemand
+
+    query = OptimizationSpec(
+        name="min-tdp",
+        method="bisect",
+        objectives=(Objective("tdp_w", "min"),),
+        constraints=(Constraint("sustained_frequency_hz", ">=", 3.0e9),),
+        variables={"tdp_w": tuple(range(10, 92))},
+    )
+    answer = Study.optimize(
+        ("darkgates", "baseline"), query, demand=CpuDemand(active_cores=4)
+    ).run()
+    print(answer.as_table())
+
 Migrating from the 1.0 API:
 
 =====================================================  ==================================================================
@@ -53,12 +70,20 @@ The deprecated factories still work and emit :class:`DeprecationWarning`;
 :class:`SystemComparison` is unchanged.
 """
 
+from repro.analysis.optimize import (
+    Constraint,
+    Objective,
+    OptimizationResult,
+    OptimizationSpec,
+    OptimizationStudy,
+)
 from repro.analysis.study import (
     CallableTask,
     ProcessExecutor,
     SerialExecutor,
     Study,
     StudyResult,
+    SweepRequest,
 )
 from repro.core.darkgates import (
     SystemComparison,
@@ -111,7 +136,7 @@ from repro.workloads.spec import (
     spec_cpu2006_suite,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SystemSpec",
@@ -121,6 +146,12 @@ __all__ = [
     "spec_names",
     "Study",
     "StudyResult",
+    "SweepRequest",
+    "Objective",
+    "Constraint",
+    "OptimizationSpec",
+    "OptimizationResult",
+    "OptimizationStudy",
     "CallableTask",
     "SerialExecutor",
     "ProcessExecutor",

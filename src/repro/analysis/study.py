@@ -52,6 +52,7 @@ from typing import (
 )
 
 from repro.analysis.reporting import format_table
+from repro.common.deprecation import warn_deprecated
 from repro.common.errors import ConfigurationError
 from repro.core.spec import SystemSpec, build_engine, resolve_spec
 from repro.sim.metrics import (
@@ -62,7 +63,13 @@ from repro.sim.metrics import (
 from repro.workloads.descriptors import Workload
 
 if TYPE_CHECKING:
+    from repro.analysis.optimize import (  # noqa: F401  (signature refs)
+        OptimizationSpec,
+        OptimizationStudy,
+    )
     from repro.pdn.transients import LoadTrace  # noqa: F401  (signature refs)
+    from repro.pmu.dvfs import CpuDemand  # noqa: F401
+    from repro.variation.binning import BinningPolicy  # noqa: F401
     from repro.variation.distributions import VariationModel  # noqa: F401
     from repro.variation.population import PopulationStudy  # noqa: F401
     from repro.workloads.dynamics import DynamicScenario  # noqa: F401
@@ -256,6 +263,125 @@ def resolve_executor(
             f"run_tasks(); got {type(executor).__name__}"
         )
     return executor
+
+
+# -- the unified sweep request ---------------------------------------------------------
+
+
+#: Execution keywords every sweep entry point accepts — the one surface
+#: shared by ``Study(...)``, every ``Study.over_*`` constructor,
+#: ``Study.optimize`` and ``PopulationStudy``.
+SWEEP_KWARGS = ("executor", "max_workers", "cache", "seed", "name")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """How a sweep executes — one descriptor behind every ``Study`` entry.
+
+    Each entry point reduces its execution keywords to a ``SweepRequest``
+    through :meth:`from_kwargs`, so executor resolution, cache wiring,
+    seeding and naming are validated once and behave identically
+    everywhere (including :meth:`Study.optimize`, which replays probe
+    sweeps through the exact same machinery).
+    """
+
+    executor: Union[str, Executor] = "serial"
+    max_workers: Optional[int] = None
+    cache: Optional[MutableMapping[StudyTask, Any]] = None
+    seed: Optional[int] = None
+    name: str = "study"
+
+    @classmethod
+    def from_kwargs(
+        cls,
+        entry_point: str,
+        kwargs: Mapping[str, Any],
+        *,
+        extra: Sequence[str] = (),
+        defaults: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple["SweepRequest", Dict[str, Any]]:
+        """Validate *kwargs* for *entry_point*; split request from extras.
+
+        Returns ``(request, extras)``, where *extras* holds the
+        entry-point-specific keywords named in *extra*.  Unknown keywords
+        raise :class:`ConfigurationError` naming the valid set, and
+        conflicting combinations are rejected by :meth:`validate`.
+        *defaults* supplies entry-point defaults that caller keywords
+        override.
+        """
+        allowed = set(SWEEP_KWARGS) | set(extra)
+        unknown = sorted(set(kwargs) - allowed)
+        if unknown:
+            raise ConfigurationError(
+                f"{entry_point}() got unexpected keyword argument(s) "
+                f"{', '.join(map(repr, unknown))}; "
+                f"valid keywords: {', '.join(sorted(allowed))}"
+            )
+        merged: Dict[str, Any] = dict(defaults or {})
+        merged.update(kwargs)
+        request = cls(
+            **{key: merged.pop(key) for key in SWEEP_KWARGS if key in merged}
+        )
+        request.validate(entry_point)
+        return request, merged
+
+    def validate(self, entry_point: str) -> None:
+        """Reject conflicting keyword combinations with actionable errors."""
+        if (
+            self.max_workers is not None
+            and isinstance(self.executor, str)
+            and self.executor != "process"
+        ):
+            raise ConfigurationError(
+                f"{entry_point}(): max_workers={self.max_workers} conflicts "
+                f"with executor={self.executor!r}; max_workers sizes the "
+                "process pool, so pass executor='process' (or drop "
+                "max_workers)"
+            )
+
+    def resolve(self) -> Executor:
+        """The executor instance this request describes."""
+        return resolve_executor(self.executor, max_workers=self.max_workers)
+
+    def derive(self, name: str) -> "SweepRequest":
+        """This request renamed — for sub-sweeps dispatched on its behalf."""
+        return SweepRequest(
+            executor=self.executor,
+            max_workers=self.max_workers,
+            cache=self.cache,
+            seed=self.seed,
+            name=name,
+        )
+
+
+def _legacy_positionals(
+    entry_point: str,
+    legacy: Tuple[Any, ...],
+    names: Tuple[str, ...],
+    values: Tuple[Any, ...],
+) -> Tuple[Any, ...]:
+    """Deprecation shim: sweep options that used to be positional.
+
+    The unified sweep API takes only grid axes positionally; options are
+    keyword-only.  Positional use still works but warns through
+    :func:`repro.common.deprecation.warn_deprecated`.
+    """
+    if not legacy:
+        return values
+    if len(legacy) > len(names):
+        raise ConfigurationError(
+            f"{entry_point}() takes at most {len(names)} positional "
+            f"option(s) ({', '.join(names)}); got {len(legacy)}"
+        )
+    supplied = names[: len(legacy)]
+    warn_deprecated(
+        f"passing {', '.join(supplied)} to {entry_point}() positionally",
+        f"the keyword form ({', '.join(name + '=...' for name in supplied)})",
+        stacklevel=4,
+    )
+    out = list(values)
+    out[: len(legacy)] = legacy
+    return tuple(out)
 
 
 # -- results ---------------------------------------------------------------------------
@@ -489,6 +615,11 @@ class Study:
         study.
     name:
         Study name used in reports.
+    request:
+        A pre-validated :class:`SweepRequest` carrying the execution
+        keywords; the ``over_*`` constructors build one through the shared
+        validation helper.  Mutually exclusive with passing the individual
+        execution keywords.
     """
 
     def __init__(
@@ -502,16 +633,38 @@ class Study:
         cache: Optional[MutableMapping[StudyTask, Any]] = None,
         seed: Optional[int] = None,
         name: str = "study",
+        request: Optional[SweepRequest] = None,
     ) -> None:
-        self._name = name
+        if request is None:
+            request = SweepRequest(
+                executor=executor,
+                max_workers=max_workers,
+                cache=cache,
+                seed=seed,
+                name=name,
+            )
+            request.validate("Study")
+        elif (
+            executor != "serial"
+            or max_workers is not None
+            or cache is not None
+            or seed is not None
+            or name != "study"
+        ):
+            raise ConfigurationError(
+                "pass either request= or the individual execution keywords "
+                f"({', '.join(SWEEP_KWARGS)}), not both"
+            )
+        self._request = request
+        self._name = request.name
         self._specs = tuple(resolve_spec(spec) for spec in specs)
         self._suites = self._normalise_suites(workloads)
         self._extra_tasks = tuple(tasks)
-        self._executor = resolve_executor(executor, max_workers=max_workers)
+        self._executor = request.resolve()
         self._cache: MutableMapping[StudyTask, Any] = (
-            cache if cache is not None else {}
+            request.cache if request.cache is not None else {}
         )
-        self._seed = seed
+        self._seed = request.seed
         self._tasks_executed = 0
         self._grid = self._build_grid()
 
@@ -562,6 +715,11 @@ class Study:
     def name(self) -> str:
         """Study name."""
         return self._name
+
+    @property
+    def request(self) -> SweepRequest:
+        """The unified execution descriptor this study runs under."""
+        return self._request
 
     @property
     def specs(self) -> Tuple[SystemSpec, ...]:
@@ -636,17 +794,19 @@ class Study:
         Expands every spec to one variant per TDP level (TDP-major order:
         all specs at the first level, then all at the next).
         """
+        request, _ = SweepRequest.from_kwargs("Study.over_tdp_levels", kwargs)
         resolved = [resolve_spec(spec) for spec in specs]
         expanded = [
             spec.variant(tdp_w=tdp) for tdp in tdp_levels_w for spec in resolved
         ]
-        return cls(expanded, workloads, **kwargs)
+        return cls(expanded, workloads, request=request)
 
     @classmethod
     def over_transients(
         cls,
         specs: Sequence[Union[SystemSpec, str]],
         traces: Sequence["LoadTrace"],
+        *legacy: Any,
         time_steps_s: Iterable[float] = (0.5e-9,),
         suite: str = "transients",
         **kwargs: Any,
@@ -662,18 +822,26 @@ class Study:
         """
         from repro.pdn.transients import TransientScenario
 
+        time_steps_s, suite = _legacy_positionals(
+            "Study.over_transients",
+            legacy,
+            ("time_steps_s", "suite"),
+            (time_steps_s, suite),
+        )
+        request, _ = SweepRequest.from_kwargs("Study.over_transients", kwargs)
         scenarios = [
             TransientScenario.from_trace(trace, time_step_s=time_step)
             for time_step in time_steps_s
             for trace in traces
         ]
-        return cls(specs, {suite: scenarios}, **kwargs)
+        return cls(specs, {suite: scenarios}, request=request)
 
     @classmethod
     def over_dynamics(
         cls,
         specs: Sequence[Union[SystemSpec, str]],
         scenarios: Sequence["DynamicScenario"],
+        *legacy: Any,
         tdp_levels_w: Optional[Iterable[float]] = None,
         suite: str = "dynamics",
         **kwargs: Any,
@@ -695,13 +863,21 @@ class Study:
         thermal / DVFS / C-state step as one set of numpy operations
         instead of one Python loop per cell.
         """
-        kwargs.setdefault("executor", "batched")
+        tdp_levels_w, suite = _legacy_positionals(
+            "Study.over_dynamics",
+            legacy,
+            ("tdp_levels_w", "suite"),
+            (tdp_levels_w, suite),
+        )
+        request, _ = SweepRequest.from_kwargs(
+            "Study.over_dynamics", kwargs, defaults={"executor": "batched"}
+        )
         resolved = [resolve_spec(spec) for spec in specs]
         if tdp_levels_w is not None:
             resolved = [
                 spec.variant(tdp_w=tdp) for tdp in tdp_levels_w for spec in resolved
             ]
-        return cls(resolved, {suite: list(scenarios)}, **kwargs)
+        return cls(resolved, {suite: list(scenarios)}, request=request)
 
     @classmethod
     def over_population(
@@ -710,6 +886,7 @@ class Study:
         scenarios: Sequence["DynamicScenario"],
         variations: "VariationModel",
         count: int,
+        *legacy: Any,
         tdp_levels_w: Optional[Iterable[float]] = None,
         **kwargs: Any,
     ) -> "PopulationStudy":
@@ -736,6 +913,15 @@ class Study:
         """
         from repro.variation.population import PopulationStudy
 
+        (tdp_levels_w,) = _legacy_positionals(
+            "Study.over_population", legacy, ("tdp_levels_w",), (tdp_levels_w,)
+        )
+        request, extras = SweepRequest.from_kwargs(
+            "Study.over_population",
+            kwargs,
+            extra=("method", "shard_size", "binning"),
+            defaults={"seed": 0, "name": "population-study"},
+        )
         return PopulationStudy(
             specs,
             scenarios,
@@ -744,5 +930,59 @@ class Study:
             tdp_levels_w=(
                 tuple(tdp_levels_w) if tdp_levels_w is not None else None
             ),
-            **kwargs,
+            request=request,
+            **extras,
+        )
+
+    @classmethod
+    def optimize(
+        cls,
+        specs: Sequence[Union[SystemSpec, str]],
+        spec: "OptimizationSpec",
+        *,
+        scenario: Optional["DynamicScenario"] = None,
+        demand: Optional["CpuDemand"] = None,
+        variations: Optional["VariationModel"] = None,
+        count: Optional[int] = None,
+        binning: Optional["BinningPolicy"] = None,
+        **kwargs: Any,
+    ) -> "OptimizationStudy":
+        """An inverse query: solve for decision variables instead of sweeping.
+
+        Where the ``over_*`` constructors enumerate a grid and report every
+        cell, ``optimize`` takes a declarative
+        :class:`~repro.analysis.optimize.OptimizationSpec` — constraints
+        such as ``sustained_frequency_hz >= 3.0e9``, decision variables
+        such as ``tdp_w`` or SKU-bin cutoffs, objectives such as min-TDP or
+        max-yield×ASP — and solves it with vectorized bisection,
+        Pareto-front extraction, or a vectorized cutoff scan, issuing only
+        the probe cells the solver actually needs.  Probes dispatch through
+        the exact sweep machinery the ``over_*`` constructors use (same
+        executors, caches and run store), so a warm store replays an
+        optimization with zero simulator tasks.
+
+        Each entry of *specs* is solved independently (the paper's
+        gated-vs-bypassed comparisons put both side by side).  Evaluation
+        backend: pass ``scenario=`` to probe the closed-loop dynamics
+        engine, ``demand=`` to probe the static sustained-operating-point
+        solver, or ``variations=``/``count=`` (with an optional
+        ``binning=`` policy) for population cutoff queries.  Returns an
+        :class:`~repro.analysis.optimize.OptimizationStudy`; its ``run()``
+        yields a JSON-round-tripping
+        :class:`~repro.analysis.optimize.OptimizationResult`.
+        """
+        from repro.analysis.optimize import OptimizationStudy
+
+        request, _ = SweepRequest.from_kwargs(
+            "Study.optimize", kwargs, defaults={"name": spec.name}
+        )
+        return OptimizationStudy(
+            specs,
+            spec,
+            scenario=scenario,
+            demand=demand,
+            variations=variations,
+            count=count,
+            binning=binning,
+            request=request,
         )

@@ -767,6 +767,11 @@ class DvfsPolicy:
         """The die variation this policy is re-referenced to (if any)."""
         return self._die_variation
 
+    @property
+    def thermal_iterations(self) -> int:
+        """Fixed-point iterations of the power/temperature loop."""
+        return self._thermal_iterations
+
     def resolve(self, demand: CpuDemand) -> OperatingPoint:
         """Highest-performance operating point satisfying every limit."""
         if demand.active_cores > self._processor.core_count:

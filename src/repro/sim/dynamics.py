@@ -48,27 +48,22 @@ from repro.pmu.dvfs import (
     OperatingPoint,
     StackedCandidateTables,
     die_voltage_offsets,
-    resolve_sustained_bins,
 )
 from repro.pmu.pcode import Pcode
 from repro.pmu.turbo import BatchedTurboBudgetManager, TurboBudgetManager
 from repro.power.budget import TurboLimits
 from repro.power.thermal import BatchedThermalModel, TransientThermalModel
 from repro.sim.metrics import DynamicRunResult
+from repro.sim.operating_point import (
+    SustainedPoint,
+    resolve_sustained_bins,
+    sustained_table_point,
+)
 from repro.workloads.dynamics import AUTO_CSTATE, DynamicPhase, DynamicScenario
 
 if TYPE_CHECKING:
     from repro.variation.sampler import DiePopulation
     from repro.variation.streaming import StreamingCellShard
-
-
-@dataclass(frozen=True)
-class _SustainedPoint:
-    """The static (TDP-table) operating point for one demand, pre-resolved."""
-
-    bin_index: int
-    limiting: LimitingFactor
-    operating_point: OperatingPoint
 
 
 def phase_step_counts(scenario: DynamicScenario) -> List[int]:
@@ -135,7 +130,7 @@ class DynamicsSimulator:
 
     def __init__(self, pcode: Pcode) -> None:
         self._pcode = pcode
-        self._sustained_cache: Dict[CpuDemand, _SustainedPoint] = {}
+        self._sustained_cache: Dict[CpuDemand, SustainedPoint] = {}
 
     @property
     def pcode(self) -> Pcode:
@@ -281,16 +276,10 @@ class DynamicsSimulator:
 
     def _sustained_point(
         self, demand: CpuDemand, table: CandidateTable
-    ) -> _SustainedPoint:
+    ) -> SustainedPoint:
         cached = self._sustained_cache.get(demand)
         if cached is None:
-            point = self._pcode.resolve_cpu_operating_point(demand)
-            index = int(np.argmin(np.abs(table.frequencies_hz - point.frequency_hz)))
-            cached = _SustainedPoint(
-                bin_index=index,
-                limiting=point.limiting_factor,
-                operating_point=point,
-            )
+            cached = sustained_table_point(self._pcode, demand, table)
             self._sustained_cache[demand] = cached
         return cached
 

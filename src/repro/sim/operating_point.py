@@ -1,0 +1,179 @@
+"""Shared sustained-operating-point solver.
+
+The sustained (TDP-table) fixed point — iterate package power and junction
+temperature to convergence, then pick the highest frequency bin that
+satisfies Vmax, TDP and Iccmax at its own fixed point — used to live in
+three places: the static resolver's grid walk
+(:meth:`~repro.pmu.dvfs.DvfsPolicy.resolve`), the table-vectorized
+:func:`~repro.pmu.dvfs.resolve_sustained_bins` primitive, and the dynamics
+engine's steady-state snap.  This module is the one home for that solver at
+the ``sim`` layer and above:
+
+* :func:`sustained_operating_point` — the canonical per-demand resolution
+  (delegates to the Pcode so nominal and varied dice take their proven
+  paths bit-identically).
+* :func:`sustained_table_point` — the resolution snapped onto a candidate
+  table's frequency grid, as the dynamics engine consumes it.
+* :func:`sustained_over_tdp` — the whole-grid inverse view: sustained bins
+  for every TDP level in one vectorized pass, exploiting that the
+  power/temperature fixed point does not depend on TDP at all (TDP only
+  enters the final feasibility mask).  This is the workhorse of the
+  ``Study.optimize`` inverse-query layer.
+* :func:`frequency_ceiling_hz` — the Vmax/Iccmax-limited ceiling, used to
+  explain infeasible frequency targets.
+
+The numeric primitive itself, :func:`resolve_sustained_bins`, stays in
+:mod:`repro.pmu.dvfs` (the PMU layer cannot import ``sim``); it is
+re-exported here so every ``sim``-and-above caller routes through this
+module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.pmu.dvfs import (
+    LIMITING_FACTOR_ORDER,
+    CandidateTable,
+    CpuDemand,
+    LimitingFactor,
+    OperatingPoint,
+    resolve_sustained_bins,
+)
+from repro.pmu.pcode import Pcode
+
+__all__ = [
+    "SustainedPoint",
+    "SustainedTdpSweep",
+    "frequency_ceiling_hz",
+    "resolve_sustained_bins",
+    "sustained_operating_point",
+    "sustained_over_tdp",
+    "sustained_table_point",
+]
+
+
+@dataclass(frozen=True)
+class SustainedPoint:
+    """The static (TDP-table) operating point for one demand, pre-resolved."""
+
+    bin_index: int
+    limiting: LimitingFactor
+    operating_point: OperatingPoint
+
+
+@dataclass(frozen=True)
+class SustainedTdpSweep:
+    """Sustained operating points of one demand over a grid of TDP levels.
+
+    All tuples are indexed by TDP level, in the order given to
+    :func:`sustained_over_tdp`.  ``package_power_w`` and ``temperature_c``
+    are the fixed-point values of the *selected* bin at each level.
+    """
+
+    tdp_levels_w: Tuple[float, ...]
+    bin_indices: Tuple[int, ...]
+    frequencies_hz: Tuple[float, ...]
+    limiting: Tuple[LimitingFactor, ...]
+    package_power_w: Tuple[float, ...]
+    temperature_c: Tuple[float, ...]
+
+
+def sustained_operating_point(pcode: Pcode, demand: CpuDemand) -> OperatingPoint:
+    """The sustained operating point of *demand* on *pcode*.
+
+    Nominal silicon takes the static resolver's grid walk; a varied die
+    takes the table-based fixed point — both behind
+    :meth:`~repro.pmu.pcode.Pcode.resolve_cpu_operating_point`, so callers
+    of this module never re-implement the dispatch.
+    """
+    return pcode.resolve_cpu_operating_point(demand)
+
+
+def sustained_table_point(
+    pcode: Pcode, demand: CpuDemand, table: Optional[CandidateTable] = None
+) -> SustainedPoint:
+    """:func:`sustained_operating_point`, snapped onto the candidate grid.
+
+    The dynamics engine keys its throttle ceiling to a bin index of the
+    demand's candidate table; the snap picks the nearest grid frequency to
+    the resolved point (they coincide except for floating-point noise).
+    """
+    if table is None:
+        table = pcode.dvfs_policy.candidate_table(demand)
+    point = sustained_operating_point(pcode, demand)
+    index = int(np.argmin(np.abs(table.frequencies_hz - point.frequency_hz)))
+    return SustainedPoint(
+        bin_index=index,
+        limiting=point.limiting_factor,
+        operating_point=point,
+    )
+
+
+def sustained_over_tdp(
+    pcode: Pcode, demand: CpuDemand, tdp_levels_w: Sequence[float]
+) -> SustainedTdpSweep:
+    """Sustained bins of *demand* for every TDP level, in one pass.
+
+    The power/temperature fixed point of
+    :func:`~repro.pmu.dvfs.resolve_sustained_bins` is independent of the
+    TDP — the limit only enters the final ``power <= tdp`` feasibility
+    mask — so a single ``(levels, bins)`` evaluation answers the whole
+    grid with arithmetic element-wise identical to the per-level calls.
+    Sustained frequency is therefore monotone non-decreasing over an
+    ascending TDP grid, which is what makes bisection on this sweep exact.
+    """
+    levels = tuple(float(level) for level in tdp_levels_w)
+    if not levels:
+        raise ConfigurationError("tdp_levels_w must not be empty")
+    for level in levels:
+        if not level > 0.0:
+            raise ConfigurationError(
+                f"TDP levels must be positive; got {level!r}"
+            )
+    policy = pcode.dvfs_policy
+    table = policy.candidate_table(demand)
+    model = pcode.processor.thermal_model()
+    limits = model.limits
+    rows = len(levels)
+    bins = int(np.asarray(table.frequencies_hz).size)
+    index, code, power, temperature = resolve_sustained_bins(
+        lambda t: np.broadcast_to(table.package_power_w(t[0]), (rows, bins)),
+        np.broadcast_to(table.vmax_ok, (rows, bins)),
+        np.broadcast_to(np.asarray(table.iccmax_ok), (rows, bins)),
+        np.asarray(levels)[:, None],
+        model.thermal_resistance_c_per_w,
+        limits.ambient_c,
+        limits.tjmax_c,
+        iterations=policy.thermal_iterations,
+    )
+    picked = index[..., None]
+    power_at = np.take_along_axis(power, picked, axis=-1)[..., 0]
+    temperature_at = np.take_along_axis(temperature, picked, axis=-1)[..., 0]
+    frequencies = np.asarray(table.frequencies_hz)[index]
+    return SustainedTdpSweep(
+        tdp_levels_w=levels,
+        bin_indices=tuple(int(i) for i in index),
+        frequencies_hz=tuple(float(f) for f in frequencies),
+        limiting=tuple(LIMITING_FACTOR_ORDER[int(c)] for c in code),
+        package_power_w=tuple(float(p) for p in power_at),
+        temperature_c=tuple(float(t) for t in temperature_at),
+    )
+
+
+def frequency_ceiling_hz(pcode: Pcode, demand: CpuDemand) -> float:
+    """The Vmax/Iccmax-limited frequency ceiling of *demand* on *pcode*.
+
+    The highest candidate frequency feasible regardless of TDP or thermals
+    — no power budget can sustain more.  Returns ``0.0`` when no bin is
+    electrically feasible at all.
+    """
+    table = pcode.dvfs_policy.candidate_table(demand)
+    feasible = np.asarray(table.vmax_ok) & np.asarray(table.iccmax_ok)
+    if not feasible.any():
+        return 0.0
+    return float(np.asarray(table.frequencies_hz)[feasible].max())

@@ -71,6 +71,7 @@ def encode_value(value: Any) -> Dict[str, Any]:
         PopulationResult,
         SpecBinningResult,
     )
+    from repro.analysis.optimize import OptimizationResult
     from repro.variation.streaming import (
         StreamingBinningResult,
         StreamingCellResult,
@@ -79,6 +80,8 @@ def encode_value(value: Any) -> Dict[str, Any]:
 
     if isinstance(value, RunResult):
         payload: Dict[str, Any] = {"codec": "run_result", "value": value.to_dict()}
+    elif isinstance(value, OptimizationResult):
+        payload = {"codec": "optimization", "value": value.to_dict()}
     elif isinstance(value, PopulationCellResult):
         payload = {"codec": "population_cell", "value": value.to_dict()}
     elif isinstance(value, SpecBinningResult):
@@ -111,6 +114,7 @@ def encode_value(value: Any) -> Dict[str, Any]:
 
 def decode_value(payload: Dict[str, Any]) -> Any:
     """Decode a store payload back into the value :func:`encode_value` saw."""
+    from repro.analysis.optimize import OptimizationResult
     from repro.variation.population import (
         PopulationCellResult,
         PopulationResult,
@@ -132,6 +136,8 @@ def decode_value(payload: Dict[str, Any]) -> Any:
     value = payload.get("value")
     if codec == "run_result":
         return RunResult.from_dict(value)
+    if codec == "optimization":
+        return OptimizationResult.from_dict(value)
     if codec == "population_cell":
         return PopulationCellResult.from_dict(value)
     if codec == "spec_binning":

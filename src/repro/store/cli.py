@@ -4,6 +4,8 @@ Subcommands::
 
     run        execute a sweep (specs x scenarios/suites x TDPs), persisting
                every cell; warm cells are served from the store
+    optimize   solve an inverse query (min TDP for a frequency target, or
+               yield x ASP SKU cutoffs) instead of sweeping densely
     summarize  tabulate stored runs matching filters
     index      rebuild the cross-run SQLite index from the on-disk manifests
     compare    join two specs' stored runs and report metric ratios
@@ -17,6 +19,11 @@ Examples::
         --scenario burst --tdp 35 --tdp 91
     python -m repro run --spec darkgates --scenario sustained --tdp 65 \\
         --population 10000 --shard-size 2048 --seed 7
+    python -m repro optimize --spec darkgates --spec baseline \\
+        --target-ghz 3.0 --tdp-grid 10:91:5 --cores 4
+    python -m repro optimize --spec darkgates --population 10000 --seed 7 \\
+        --asp premium-desktop=450 --asp mainstream-mobile=220 \\
+        --cutoff premium-desktop:4.0:4.5:0.1
     python -m repro index
     python -m repro summarize --spec darkgates --kind dynamic --tdp 35
     python -m repro compare --spec darkgates --spec baseline --tdp 35
@@ -224,6 +231,167 @@ def _cmd_run_population(
     return 0
 
 
+def _parse_grid(text: str, what: str) -> List[float]:
+    """``lo:hi:step`` (inclusive while step lands) or ``a,b,c`` -> floats."""
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"bad {what} {text!r}: expected lo:hi:step (e.g. 10:91:5) "
+                "or a comma-separated list"
+            )
+        try:
+            lo, hi, step = (float(part) for part in parts)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad {what} {text!r}: lo:hi:step must be numbers"
+            ) from None
+        if step <= 0 or hi < lo:
+            raise ConfigurationError(
+                f"bad {what} {text!r}: need hi >= lo and step > 0"
+            )
+        values = []
+        value = lo
+        while value <= hi + 1e-9:
+            values.append(round(value, 9))
+            value += step
+        return values
+    try:
+        return [float(part) for part in text.split(",") if part]
+    except ValueError:
+        raise ConfigurationError(
+            f"bad {what} {text!r}: expected lo:hi:step or a comma-"
+            "separated list of numbers"
+        ) from None
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    """``optimize``: solve an inverse query instead of sweeping densely.
+
+    Two query forms: ``--target-ghz`` bisects the minimum TDP sustaining a
+    frequency target (static ``--cores`` demand or a closed-loop
+    ``--scenario``); ``--population`` + ``--cutoff``/``--asp`` maximises
+    yield x ASP revenue over SKU-bin cutoff grids.  Probe cells and the
+    condensed result land in the store, so a warm re-run executes nothing.
+    """
+    from repro.analysis.optimize import Constraint, Objective, OptimizationSpec
+    from repro.pmu.dvfs import CpuDemand
+
+    store = RunStore(args.store)
+    cache = StoreCache(store=store, seed=args.seed)
+    kwargs: Dict[str, Any] = {
+        "cache": cache,
+        "seed": args.seed,
+        "name": args.name,
+    }
+    if args.executor is not None:
+        kwargs["executor"] = args.executor
+    if args.max_workers is not None:
+        kwargs["max_workers"] = args.max_workers
+    if (args.target_ghz is None) == (args.population is None):
+        raise ConfigurationError(
+            "pick exactly one query: --target-ghz F (min TDP sustaining F "
+            "GHz) or --population N with --cutoff/--asp (yield x ASP SKU "
+            "cutoffs)"
+        )
+    if args.population is not None:
+        from repro.variation.distributions import skylake_process_variation
+
+        if not args.cutoff:
+            raise ConfigurationError(
+                "--population needs at least one --cutoff bin:lo:hi:step "
+                "(GHz) naming the SKU bin whose cutoff moves"
+            )
+        if not args.asp:
+            raise ConfigurationError(
+                "--population needs --asp bin=price for every policy bin "
+                "(the yield x ASP revenue weights)"
+            )
+        variables: Dict[str, List[float]] = {}
+        for entry in args.cutoff:
+            name, separator, grid_text = entry.partition(":")
+            if not separator or not name:
+                raise ConfigurationError(
+                    f"bad --cutoff {entry!r}: expected bin:lo:hi:step or "
+                    "bin:a,b,c (GHz)"
+                )
+            variables[name] = [
+                value * 1e9 for value in _parse_grid(grid_text, "--cutoff grid")
+            ]
+        asp: Dict[str, float] = {}
+        for pair in args.asp:
+            key, separator, value = pair.partition("=")
+            if not separator or not key:
+                raise ConfigurationError(
+                    f"bad --asp {pair!r}: expected bin=price "
+                    "(e.g. premium-desktop=450)"
+                )
+            try:
+                asp[key] = float(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad --asp {pair!r}: price must be a number"
+                ) from None
+        constraints = (
+            (Constraint("yield.total", ">=", args.min_yield),)
+            if args.min_yield is not None
+            else ()
+        )
+        spec = OptimizationSpec(
+            name=args.name,
+            method="cutoff",
+            objectives=(Objective("revenue_per_die", "max"),),
+            constraints=constraints,
+            variables=variables,
+            asp=asp,
+        )
+        study = Study.optimize(
+            args.spec,
+            spec,
+            variations=skylake_process_variation(),
+            count=args.population,
+            **kwargs,
+        )
+    else:
+        grid = _parse_grid(args.tdp_grid, "--tdp-grid")
+        spec = OptimizationSpec(
+            name=args.name,
+            method="bisect",
+            objectives=(Objective("tdp_w", "min"),),
+            constraints=(
+                Constraint(
+                    "sustained_frequency_hz", ">=", args.target_ghz * 1e9
+                ),
+            ),
+            variables={"tdp_w": grid},
+        )
+        if args.scenario:
+            options = _scenario_options(args.opt)
+            scenario = build_scenario(args.scenario[0], **options)
+            if len(args.scenario) > 1:
+                raise ConfigurationError(
+                    "optimize probes one scenario; give --scenario once"
+                )
+            study = Study.optimize(args.spec, spec, scenario=scenario, **kwargs)
+        else:
+            study = Study.optimize(
+                args.spec,
+                spec,
+                demand=CpuDemand(active_cores=args.cores),
+                **kwargs,
+            )
+    result = study.run()
+    print(result.as_table())
+    served = study.tasks_total - study.tasks_executed
+    print(
+        f"{study.tasks_executed} task(s) executed, "
+        f"{served} served from the store ({store.root})"
+    )
+    indexed = RunIndex(store).rebuild()
+    print(f"index: {indexed} run(s)")
+    return 0
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     index = RunIndex(RunStore(args.store))
     if not index.exists():
@@ -396,6 +564,90 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--name", default="cli-study")
     run.set_defaults(handler=_cmd_run)
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        parents=[common],
+        help="solve an inverse query (min TDP / yield x ASP cutoffs)",
+        description=(
+            "Solve a declarative inverse query through the run store "
+            "instead of sweeping densely: bisect the minimum TDP "
+            "sustaining --target-ghz, or maximise yield x ASP revenue "
+            "over --cutoff grids on a seeded --population."
+        ),
+    )
+    optimize.add_argument(
+        "--spec",
+        action="append",
+        required=True,
+        help="registered system spec name (repeatable)",
+    )
+    optimize.add_argument(
+        "--target-ghz",
+        type=float,
+        default=None,
+        help="min-TDP query: sustained frequency target in GHz",
+    )
+    optimize.add_argument(
+        "--tdp-grid",
+        default="10:91:1",
+        metavar="LO:HI:STEP",
+        help="TDP candidate grid in W (or a,b,c list; default 10:91:1)",
+    )
+    optimize.add_argument(
+        "--cores",
+        type=int,
+        default=4,
+        help="static probe demand: active cores (default 4)",
+    )
+    optimize.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        help=(
+            "probe a closed-loop dynamic scenario instead of the static "
+            f"resolver (give once): {sorted(scenario_names())}"
+        ),
+    )
+    optimize.add_argument(
+        "--opt",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario builder override, e.g. duration_s=6",
+    )
+    optimize.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cutoff query: draw a seeded N-die population",
+    )
+    optimize.add_argument(
+        "--cutoff",
+        action="append",
+        default=[],
+        metavar="BIN:LO:HI:STEP",
+        help="cutoff query: bin fmax-cutoff grid in GHz (repeatable)",
+    )
+    optimize.add_argument(
+        "--asp",
+        action="append",
+        default=[],
+        metavar="BIN=PRICE",
+        help="cutoff query: selling price per bin (repeatable)",
+    )
+    optimize.add_argument(
+        "--min-yield",
+        type=float,
+        default=None,
+        help="cutoff query: require yield.total >= this fraction",
+    )
+    optimize.add_argument("--executor", default=None, help="serial | batched | process")
+    optimize.add_argument("--max-workers", type=int, default=None)
+    optimize.add_argument("--seed", type=int, default=None)
+    optimize.add_argument("--name", default="cli-optimize")
+    optimize.set_defaults(handler=_cmd_optimize)
 
     summarize = subparsers.add_parser(
         "summarize", parents=[common], help="tabulate stored runs"

@@ -46,7 +46,13 @@ from typing import (
 
 import numpy as np
 
-from repro.analysis.study import CallableTask, Executor, Study, StudyTask
+from repro.analysis.study import (
+    CallableTask,
+    Executor,
+    Study,
+    StudyTask,
+    SweepRequest,
+)
 from repro.common.errors import ConfigurationError
 from repro.core.spec import SystemSpec, build_engine, resolve_spec
 from repro.pmu.dvfs import LimitingFactor
@@ -580,7 +586,24 @@ class PopulationStudy:
         max_workers: Optional[int] = None,
         cache: Optional[MutableMapping[StudyTask, Any]] = None,
         name: str = "population-study",
+        request: Optional[SweepRequest] = None,
     ) -> None:
+        if request is not None:
+            # The unified sweep-request path (Study.over_population); the
+            # individual execution keywords keep working for direct use.
+            executor = request.executor
+            max_workers = request.max_workers
+            cache = request.cache
+            seed = request.seed
+            name = request.name
+        else:
+            SweepRequest(
+                executor=executor,
+                max_workers=max_workers,
+                cache=cache,
+                seed=seed,
+                name=name,
+            ).validate("PopulationStudy")
         if count < 1:
             raise ConfigurationError("count must be >= 1")
         if method not in self.METHODS:
@@ -764,11 +787,13 @@ class PopulationStudy:
         """Run the grid tasks through the executor (store-cached if given)."""
         study = Study(
             tasks=list(tasks),
-            executor=self._executor,
-            max_workers=self._max_workers,
-            cache=self._cache,
-            seed=self._seed,
-            name=f"{self._name}-grid",
+            request=SweepRequest(
+                executor=self._executor,
+                max_workers=self._max_workers,
+                cache=self._cache,
+                seed=self._seed,
+                name=f"{self._name}-grid",
+            ),
         )
         grid = study.run()
         self._tasks_total = len(study)

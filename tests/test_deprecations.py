@@ -18,6 +18,7 @@ import pytest
 
 import repro
 import repro.core
+from repro.analysis.study import Study
 from repro.common.deprecation import warn_deprecated
 from repro.core.darkgates import (
     baseline_system,
@@ -73,3 +74,54 @@ def test_no_silent_internal_callers_of_deprecated_factories():
             if pattern.match(line):
                 offenders.append(f"{path.relative_to(src_root)}:{line_number}")
     assert not offenders, f"internal deprecated-factory callers: {offenders}"
+
+
+# -- sweep-request signature migration (1.3) -------------------------------------------
+
+
+def test_over_dynamics_positional_options_warn_and_still_work():
+    """1.2-style positional trailing options keep working behind a warning."""
+    from repro.workloads.dynamics import sustained_scenario
+
+    scenario = sustained_scenario()
+    with pytest.warns(DeprecationWarning, match=r"Study\.over_dynamics.*keyword"):
+        legacy = Study.over_dynamics(("darkgates",), (scenario,), (35.0,))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        modern = Study.over_dynamics(
+            ("darkgates",), (scenario,), tdp_levels_w=(35.0,)
+        )
+    assert len(legacy) == len(modern)
+
+
+def test_over_transients_positional_options_warn():
+    from repro.pdn.transients import paper_transient_scenarios
+
+    trace = paper_transient_scenarios()[0].trace
+    with pytest.warns(DeprecationWarning, match=r"Study\.over_transients.*keyword"):
+        Study.over_transients(("darkgates",), (trace,), (0.5e-9,))
+
+
+def test_over_population_positional_tdp_warns():
+    from repro.variation.distributions import skylake_process_variation
+    from repro.workloads.dynamics import sustained_scenario
+
+    with pytest.warns(DeprecationWarning, match=r"Study\.over_population.*keyword"):
+        Study.over_population(
+            ("darkgates",),
+            (sustained_scenario(),),
+            skylake_process_variation(),
+            16,
+            (35.0,),
+        )
+
+
+def test_keyword_callers_never_warn():
+    """The modern keyword form is warning-free on every entry point."""
+    from repro.workloads.dynamics import sustained_scenario
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        Study.over_dynamics(
+            ("darkgates",), (sustained_scenario(),), tdp_levels_w=(35.0,)
+        )
