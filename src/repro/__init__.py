@@ -92,6 +92,25 @@ from repro.core.darkgates import (
     darkgates_system,
 )
 from repro.core.overhead import darkgates_overheads
+
+# Importing the fleet package also registers the named fleet profiles in
+# SCENARIO_BUILDERS, so "fleet-*" scenarios resolve by name everywhere
+# (including the python -m repro CLI).
+from repro.fleet import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    DutyCycleArrivals,
+    EnsembleQos,
+    FleetProfile,
+    OnOffArrivals,
+    PoissonArrivals,
+    QosAccumulator,
+    QosReport,
+    ScenarioGenerator,
+    aggregate_reports,
+    fleet_profile,
+    fleet_profile_names,
+)
 from repro.core.spec import (
     SystemSpec,
     build_engine,
@@ -136,7 +155,7 @@ from repro.workloads.spec import (
     spec_cpu2006_suite,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "SystemSpec",
@@ -188,6 +207,19 @@ __all__ = [
     "skylake_binning_policy",
     "PopulationStudy",
     "PopulationResult",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "OnOffArrivals",
+    "DutyCycleArrivals",
+    "FleetProfile",
+    "ScenarioGenerator",
+    "fleet_profile",
+    "fleet_profile_names",
+    "QosReport",
+    "QosAccumulator",
+    "EnsembleQos",
+    "aggregate_reports",
     "RunStore",
     "RunManifest",
     "RunIndex",

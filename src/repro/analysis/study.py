@@ -63,6 +63,7 @@ from repro.sim.metrics import (
 from repro.workloads.descriptors import Workload
 
 if TYPE_CHECKING:
+    from repro.analysis.fleet import FleetStudy  # noqa: F401  (signature refs)
     from repro.analysis.optimize import (  # noqa: F401  (signature refs)
         OptimizationSpec,
         OptimizationStudy,
@@ -932,6 +933,59 @@ class Study:
             ),
             request=request,
             **extras,
+        )
+
+    @classmethod
+    def over_fleet(
+        cls,
+        specs: Sequence[Union[SystemSpec, str]],
+        profiles: Sequence[Any],
+        ensemble: int = 8,
+        *,
+        tdp_levels_w: Optional[Iterable[float]] = None,
+        slo_frequency_hz: Optional[float] = None,
+        **kwargs: Any,
+    ) -> "FleetStudy":
+        """A fleet QoS sweep: specs x TDP levels x profiles x ensemble members.
+
+        Compiles each fleet profile (a
+        :class:`~repro.fleet.profiles.FleetProfile` or a registered name
+        such as ``"datacenter"``) into a seeded ensemble of *ensemble*
+        :class:`~repro.workloads.dynamics.DynamicScenario` members —
+        bit-identical per seed and prefix-stable in the ensemble size —
+        and steps every (spec variant, member) cell through the study
+        machinery.  The default executor is the batched dynamics fast
+        path; pass ``cache=StoreCache(...)`` to land every member run in
+        the persistent run store, after which a warm re-run executes zero
+        simulator tasks.  Member runs pool into per-cell
+        :class:`~repro.fleet.qos.EnsembleQos` verdicts (SLO-violation
+        rate, throttle residency by limiting factor, worst-member p99
+        proxy) judged against *slo_frequency_hz*.  Returns a
+        :class:`~repro.analysis.fleet.FleetStudy`; its ``run()`` yields a
+        JSON-round-tripping
+        :class:`~repro.analysis.fleet.FleetStudyResult`.
+        """
+        from repro.analysis.fleet import FleetStudy
+        from repro.fleet.qos import DEFAULT_SLO_FREQUENCY_HZ
+
+        request, _ = SweepRequest.from_kwargs(
+            "Study.over_fleet",
+            kwargs,
+            defaults={"executor": "batched", "seed": 0, "name": "fleet-study"},
+        )
+        return FleetStudy(
+            specs,
+            profiles,
+            ensemble=ensemble,
+            tdp_levels_w=(
+                tuple(tdp_levels_w) if tdp_levels_w is not None else None
+            ),
+            slo_frequency_hz=(
+                DEFAULT_SLO_FREQUENCY_HZ
+                if slo_frequency_hz is None
+                else slo_frequency_hz
+            ),
+            request=request,
         )
 
     @classmethod

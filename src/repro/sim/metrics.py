@@ -20,7 +20,17 @@ from repro.pmu.pbm import GraphicsOperatingPoint
 #: when a payload gains/renames fields; readers reject payloads written by
 #: a *newer* schema instead of silently misparsing them.  The run store
 #: stamps this into its artifacts so stale stored results are detectable.
-RESULT_SCHEMA_VERSION = 1
+#: Version 2 added the embedded ``summary`` block (throttle residency by
+#: limiting factor, QoS headline metrics) to dynamic-run payloads.
+RESULT_SCHEMA_VERSION = 2
+
+#: Limiting factors that count as *throttling* for residency accounting:
+#: the sustained power budget and the thermal loop.  Vmax/Iccmax/grid
+#: limits are silicon ceilings, not workload-induced throttles.
+THROTTLE_FACTORS: Tuple[str, ...] = (
+    LimitingFactor.TDP.value,
+    LimitingFactor.THERMAL.value,
+)
 
 
 def check_payload_schema(data: Dict[str, Any], what: str) -> None:
@@ -476,6 +486,41 @@ class DynamicRunResult(RunResult):
             counts[state] = counts.get(state, 0) + 1
         return {state: count / len(self.package_cstates) for state, count in counts.items()}
 
+    def throttle_residency(self) -> Dict[str, float]:
+        """Fraction of active steps throttled, keyed by limiting factor.
+
+        Every factor in :data:`THROTTLE_FACTORS` is present (0.0 when the
+        run never hit it), so downstream aggregation never key-errors.
+        """
+        breakdown = self.limiting_breakdown()
+        return {
+            factor: breakdown.get(factor, 0.0) for factor in THROTTLE_FACTORS
+        }
+
+    @property
+    def throttled_fraction(self) -> float:
+        """Total fraction of active steps spent power- or thermal-throttled."""
+        return sum(self.throttle_residency().values())
+
+    def summary(self) -> Dict[str, Any]:
+        """First-class headline metrics of the run (embedded in payloads).
+
+        Promotes what used to require post-processing the ``limit`` traces
+        — throttle residency by limiting factor — next to the frequency and
+        power headlines, so stored artifacts answer QoS queries without
+        re-walking the traces.
+        """
+        return {
+            "sustained_frequency_hz": self.sustained_frequency_hz,
+            "average_frequency_hz": self.average_frequency_hz,
+            "peak_frequency_hz": self.peak_frequency_hz,
+            "average_power_w": self.average_power_w,
+            "peak_temperature_c": self.peak_temperature_c,
+            "throttle_residency": self.throttle_residency(),
+            "throttled_fraction": self.throttled_fraction,
+            "final_limiting_factor": self.final_limiting_factor,
+        }
+
     # -- serialisation -----------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -493,10 +538,13 @@ class DynamicRunResult(RunResult):
             "average_powers_w": list(self.average_powers_w),
             "limiting_factors": list(self.limiting_factors),
             "package_cstates": list(self.package_cstates),
+            "summary": self.summary(),
         }
 
     @classmethod
     def _from_payload(cls, data: Dict[str, Any]) -> "DynamicRunResult":
+        # The embedded summary block is derived, not stored state: rebuild
+        # from the traces so round-trips stay exact even across versions.
         return cls(
             scenario_name=data["scenario_name"],
             time_step_s=data["time_step_s"],

@@ -19,6 +19,8 @@ Examples::
         --scenario burst --tdp 35 --tdp 91
     python -m repro run --spec darkgates --scenario sustained --tdp 65 \\
         --population 10000 --shard-size 2048 --seed 7
+    python -m repro run --spec darkgates --spec baseline \\
+        --profile datacenter --ensemble 8 --tdp 35 --seed 7
     python -m repro optimize --spec darkgates --spec baseline \\
         --target-ghz 3.0 --tdp-grid 10:91:5 --cores 4
     python -m repro optimize --spec darkgates --population 10000 --seed 7 \\
@@ -94,6 +96,13 @@ def _format_metric(value: Optional[float]) -> str:
 def _cmd_run(args: argparse.Namespace) -> int:
     store = RunStore(args.store)
     cache = StoreCache(store=store, seed=args.seed)
+    if args.profile:
+        return _cmd_run_fleet(args, store, cache)
+    if args.ensemble is not None:
+        raise ConfigurationError(
+            "--ensemble sizes a fleet scenario ensemble; pass --profile "
+            "NAME to pick the fleet profile"
+        )
     if args.population is not None:
         return _cmd_run_population(args, store, cache)
     if args.shard_size is not None:
@@ -136,6 +145,63 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = study.run()
     print(result.as_table())
     served = len(study) - study.tasks_executed
+    print(
+        f"{study.tasks_executed} task(s) executed, "
+        f"{served} served from the store ({store.root})"
+    )
+    indexed = RunIndex(store).rebuild()
+    print(f"index: {indexed} run(s)")
+    return 0
+
+
+def _cmd_run_fleet(
+    args: argparse.Namespace, store: RunStore, cache: StoreCache
+) -> int:
+    """``run --profile NAME [--ensemble N]``: a seeded fleet QoS sweep.
+
+    Each profile compiles into a seeded scenario ensemble (bit-identical
+    per seed); every member run lands in the store individually, so a warm
+    re-run executes zero tasks and prints the same QoS table.
+    """
+    from repro.fleet.profiles import fleet_profile_names
+
+    if args.scenario or args.suite:
+        raise ConfigurationError(
+            "--profile compiles its own scenario ensemble; drop --scenario/"
+            "--suite (known profiles: "
+            f"{sorted(fleet_profile_names())})"
+        )
+    if args.population is not None or args.shard_size is not None:
+        raise ConfigurationError(
+            "--profile sweeps nominal specs; drop --population/--shard-size"
+        )
+    kwargs: Dict[str, Any] = {
+        "cache": cache,
+        "seed": args.seed,
+        "name": args.name,
+    }
+    if args.executor is not None:
+        kwargs["executor"] = args.executor
+    if args.max_workers is not None:
+        kwargs["max_workers"] = args.max_workers
+    study = Study.over_fleet(
+        args.spec,
+        args.profile,
+        ensemble=args.ensemble if args.ensemble is not None else 8,
+        tdp_levels_w=args.tdp or None,
+        **kwargs,
+    )
+    result = study.run()
+    print(
+        result.as_table(
+            title=(
+                f"{result.name}: ensemble={result.ensemble}, "
+                f"seed={result.seed}, "
+                f"slo={result.slo_frequency_hz / 1e9:g}GHz"
+            )
+        )
+    )
+    served = study.tasks_total - study.tasks_executed
     print(
         f"{study.tasks_executed} task(s) executed, "
         f"{served} served from the store ({store.root})"
@@ -541,6 +607,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="scenario builder override, e.g. duration_s=6 or time_step_s=0.5",
+    )
+    run.add_argument(
+        "--profile",
+        action="append",
+        default=[],
+        help=(
+            "fleet profile name (repeatable): compiles a seeded scenario "
+            "ensemble and reports per-profile QoS"
+        ),
+    )
+    run.add_argument(
+        "--ensemble",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ensemble members per fleet profile (default 8; needs --profile)",
     )
     run.add_argument(
         "--population",

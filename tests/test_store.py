@@ -410,7 +410,16 @@ def test_index_prune(populated_store):
 
 
 def test_scenario_registry():
-    assert scenario_names() == ["burst", "sprint_and_rest", "sustained"]
+    # Importing repro.fleet (pulled in by the repro facade) registers the
+    # fleet-* builders next to the three hand-built timelines.
+    assert scenario_names() == [
+        "burst",
+        "fleet-consumer",
+        "fleet-datacenter",
+        "fleet-graphics",
+        "sprint_and_rest",
+        "sustained",
+    ]
     scenario = build_scenario("burst", burst_s=5.0, time_step_s=0.5)
     assert scenario.time_step_s == 0.5
     with pytest.raises(ConfigurationError, match="known scenarios"):
